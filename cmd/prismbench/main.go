@@ -1,0 +1,121 @@
+// Command prismbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	prismbench -exp table1                 # latency microbenchmark
+//	prismbench -exp fig7,table3,table4,table5 -size ci
+//	prismbench -exp pit                    # §4.3 PIT study
+//	prismbench -exp all -size ci
+//
+// Figure 7 and Tables 3-5 come from the same six-policy sweep, which
+// is run once per invocation when any of them is requested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prism/internal/harness"
+	"prism/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiments: table1,table2,fig7,table3,table4,table5,pit,all")
+	sizeFlag := flag.String("size", "ci", "data-set size: mini|ci|paper")
+	apps := flag.String("apps", "", "comma-separated app subset (default all eight)")
+	quiet := flag.Bool("q", false, "suppress per-run progress")
+	csvPath := flag.String("csv", "", "also write the sweep's raw per-run results as CSV")
+	flag.Parse()
+
+	size, err := parseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	if want["all"] {
+		for _, e := range []string{"table1", "table2", "fig7", "table3", "table4", "table5", "pit"} {
+			want[e] = true
+		}
+	}
+
+	opts := harness.Options{Size: size}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	if want["table1"] {
+		out, err := harness.RunTable1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want["table2"] {
+		fmt.Println(harness.FormatTable2())
+	}
+
+	if want["fig7"] || want["table3"] || want["table4"] || want["table5"] {
+		runs, err := harness.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := harness.WriteCSV(f, runs); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		if want["fig7"] {
+			fmt.Println(harness.FormatFig7(runs))
+		}
+		if want["table3"] {
+			fmt.Println(harness.FormatTable3(runs))
+		}
+		if want["table4"] {
+			fmt.Println(harness.FormatTable4(runs))
+		}
+		if want["table5"] {
+			fmt.Println(harness.FormatTable5(runs))
+		}
+	}
+
+	if want["pit"] {
+		rows, err := harness.RunPITSweep(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatPITSweep(rows))
+	}
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "mini":
+		return workloads.MiniSize, nil
+	case "ci":
+		return workloads.CISize, nil
+	case "paper":
+		return workloads.PaperSize, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (mini|ci|paper)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prismbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command prismsim runs one application under one page-mode policy on
+// the simulated PRISM machine and prints the run's statistics.
+//
+// Usage:
+//
+//	prismsim -app fft -policy Dyn-LRU -size ci [-cap-frac 0.7] [-pit 2]
+//
+// Capped policies (SCOMA-70, Dyn-*) automatically run a SCOMA sizing
+// pass first, exactly like the paper's methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prism"
+	"prism/internal/sim"
+	"prism/workloads"
+)
+
+func main() {
+	app := flag.String("app", "fft", "application: barnes|fft|lu|mp3d|ocean|radix|water-nsq|water-spa")
+	pol := flag.String("policy", "SCOMA", "policy: SCOMA|LANUMA|SCOMA-70|Dyn-FCFS|Dyn-Util|Dyn-LRU")
+	sizeFlag := flag.String("size", "ci", "data-set size: mini|ci|paper")
+	capFrac := flag.Float64("cap-frac", 0.70, "page-cache fraction of SCOMA max (capped policies)")
+	pit := flag.Uint64("pit", 0, "PIT access time override in cycles (0 = default 2)")
+	flag.Parse()
+
+	size, err := parseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := prism.PolicyByName(*pol)
+	if err != nil {
+		fatal(err)
+	}
+
+	var caps []int
+	if needsCap(policy.Name()) {
+		fmt.Fprintf(os.Stderr, "sizing pass (SCOMA)...\n")
+		res, err := runOnce(*app, "SCOMA", size, nil, *pit)
+		if err != nil {
+			fatal(err)
+		}
+		caps = make([]int, len(res.MaxClientFrames))
+		for i, c := range res.MaxClientFrames {
+			caps[i] = int(float64(c) * *capFrac)
+			if caps[i] < 1 {
+				caps[i] = 1
+			}
+		}
+		fmt.Fprintf(os.Stderr, "page-cache caps per node: %v\n", caps)
+	}
+
+	res, err := runOnce(*app, policy.Name(), size, caps, *pit)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res)
+}
+
+func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64) (prism.Results, error) {
+	cfg := workloads.ConfigForSize(size)
+	p, err := prism.PolicyByName(polName)
+	if err != nil {
+		return prism.Results{}, err
+	}
+	cfg.Policy = p
+	cfg.PageCacheCaps = caps
+	if pit != 0 {
+		cfg.Node.PITConfig.AccessTime = sim.Time(pit)
+	}
+	m, err := prism.New(cfg)
+	if err != nil {
+		return prism.Results{}, err
+	}
+	w, err := workloads.ByName(app, size)
+	if err != nil {
+		return prism.Results{}, err
+	}
+	return m.Run(w)
+}
+
+func needsCap(pol string) bool {
+	return pol != "SCOMA" && pol != "LANUMA"
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "mini":
+		return workloads.MiniSize, nil
+	case "ci":
+		return workloads.CISize, nil
+	case "paper":
+		return workloads.PaperSize, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (mini|ci|paper)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prismsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command prismtrace runs a workload with reference tracing enabled
+// and prints its memory-access profile: footprint, read/write mix,
+// sharing-degree histogram and the hottest pages — the properties that
+// decide whether pages want S-COMA or LA-NUMA frames.
+//
+// Usage:
+//
+//	prismtrace -app radix -size mini [-top 20] [-csv pages.csv]
+//	prismtrace -app synth -ops 5000 -writes 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prism"
+	"prism/internal/trace"
+	"prism/workloads"
+)
+
+func main() {
+	app := flag.String("app", "fft", "application (or 'synth')")
+	sizeFlag := flag.String("size", "mini", "mini|ci|paper")
+	pol := flag.String("policy", "SCOMA", "page-mode policy")
+	top := flag.Int("top", 16, "hottest pages to print")
+	csv := flag.String("csv", "", "write per-page profile CSV to this file")
+	ops := flag.Int("ops", 2000, "synth: shared ops per iteration")
+	writes := flag.Int("writes", 30, "synth: store percentage")
+	random := flag.Int("random", 25, "synth: hot-set percentage")
+	flag.Parse()
+
+	size, err := parseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w prism.Workload
+	if *app == "synth" {
+		sc := workloads.DefaultSynthConfig()
+		sc.OpsPerIter = *ops
+		sc.WritePct = *writes
+		sc.RandomPct = *random
+		w = workloads.NewSynth(sc)
+	} else {
+		if w, err = workloads.ByName(*app, size); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := workloads.ConfigForSize(size)
+	cfg.Policy = prism.MustPolicy(*pol)
+	m, err := prism.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	col := trace.NewCollector(cfg.Geometry)
+	m.SetTracer(col)
+
+	res, err := m.Run(w)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s (%s, %s): cycles=%d remote misses=%d\n\n",
+		w.Name(), size, *pol, res.Cycles, res.RemoteMisses)
+	fmt.Print(col.Summary(*top, m.NumProcs()))
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := col.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csv)
+	}
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "mini":
+		return workloads.MiniSize, nil
+	case "ci":
+		return workloads.CISize, nil
+	case "paper":
+		return workloads.PaperSize, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prismtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Quickstart: build the paper's 32-processor PRISM machine, run the
+// FFT workload under the Dyn-LRU adaptive page-mode policy, and print
+// the run's statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prism"
+	"prism/workloads"
+)
+
+func main() {
+	// A machine scaled for the CI-sized data sets (quarter-scale
+	// caches keep the capacity trade-off of §4.1 in play).
+	cfg := workloads.ConfigForSize(workloads.CISize)
+	cfg.Policy = prism.MustPolicy("Dyn-LRU")
+
+	// Capped policies size the page cache from a SCOMA pass, as the
+	// paper does: 70% of the per-node maximum client frame count.
+	sizing := cfg
+	sizing.Policy = prism.MustPolicy("SCOMA")
+	m0, err := prism.New(sizing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre, err := m0.Run(workloads.NewFFT(workloads.CISize))
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := make([]int, len(pre.MaxClientFrames))
+	for i, c := range pre.MaxClientFrames {
+		if caps[i] = c * 7 / 10; caps[i] < 1 {
+			caps[i] = 1
+		}
+	}
+	cfg.PageCacheCaps = caps
+
+	m, err := prism.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(workloads.NewFFT(workloads.CISize))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res)
+	fmt.Printf("\nSCOMA baseline cycles: %d  →  Dyn-LRU: %d (%.2fx)\n",
+		pre.Cycles, res.Cycles, float64(res.Cycles)/float64(pre.Cycles))
+}

@@ -1,0 +1,85 @@
+// Syncpages: §3.2's synchronization-page frame mode. PRISM's
+// controller dispatches by page-frame mode, so a frame can invoke a
+// locking protocol instead of the coherence protocol: each line of a
+// Sync-mode page is a queue lock at the page's home controller, and a
+// contended release hands the lock to the next waiter with one
+// message. This demo hammers a handful of locks from all 32
+// processors, once with ordinary coherent test-and-test&set locks and
+// once with Sync-mode pages, and compares the coherence traffic.
+//
+//	go run ./examples/syncpages
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prism"
+	"prism/workloads"
+)
+
+// contendWL: every processor loops acquire→update shared counter
+// line→release over a small set of hot locks.
+type contendWL struct {
+	base   prism.VAddr
+	rounds int
+	locks  int
+}
+
+func (w *contendWL) Name() string { return "contend" }
+
+func (w *contendWL) Setup(m *prism.Machine) error {
+	w.rounds = 120
+	w.locks = 4
+	b, err := m.Alloc("contend.data", 4096)
+	w.base = b
+	return err
+}
+
+func (w *contendWL) Run(ctx *prism.Ctx) {
+	p := ctx.P
+	ctx.BeginParallel()
+	for i := 0; i < w.rounds; i++ {
+		lk := (ctx.ID + i) % w.locks
+		p.Lock(lk)
+		p.Read(w.base + prism.VAddr(lk*64))
+		p.Write(w.base + prism.VAddr(lk*64))
+		p.Unlock(lk)
+		p.Compute(50)
+	}
+	ctx.EndParallel()
+}
+
+func run(hw bool) prism.Results {
+	cfg := workloads.ConfigForSize(workloads.CISize)
+	cfg.Policy = prism.MustPolicy("SCOMA")
+	cfg.HardwareSync = hw
+	m, err := prism.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(&contendWL{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	sw := run(false)
+	hw := run(true)
+
+	fmt.Println("4 hot locks, 32 processors, 120 critical sections each:")
+	fmt.Printf("  coherent test&set locks: cycles=%-10d remote+upgrades=%-7d msgs=%d\n",
+		sw.Cycles, sw.RemoteMisses+sw.Upgrades, sw.NetMessages)
+	fmt.Printf("  Sync-mode page locks:    cycles=%-10d remote+upgrades=%-7d msgs=%d\n",
+		hw.Cycles, hw.RemoteMisses+hw.Upgrades, hw.NetMessages)
+	if hw.Cycles < sw.Cycles {
+		fmt.Printf("  queue locks win by %.2fx: contended handoffs skip the\n"+
+			"  invalidation/re-fetch storm entirely.\n",
+			float64(sw.Cycles)/float64(hw.Cycles))
+	} else {
+		fmt.Println("  coherent locks win here: same-node handoff batching beats")
+		fmt.Println("  the mandatory home round trip at this contention level.")
+	}
+}

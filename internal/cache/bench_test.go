@@ -1,0 +1,30 @@
+package cache
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+)
+
+// BenchmarkAccessHit measures the inline L1-hit fast path that every
+// simulated reference takes.
+func BenchmarkAccessHit(b *testing.B) {
+	c := New("b", Config{Size: 8 << 10, Ways: 1, LineSize: 64})
+	c.Insert(0x1000, Exclusive)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, i&1 == 0)
+	}
+}
+
+// BenchmarkAccessMissInsert measures the miss+fill path.
+func BenchmarkAccessMissInsert(b *testing.B) {
+	c := New("b", Config{Size: 8 << 10, Ways: 4, LineSize: 64})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pa := mem.PAddr(i*64) & 0xFFFFF
+		if c.Access(pa, false) == Miss {
+			c.Insert(pa, Shared)
+		}
+	}
+}

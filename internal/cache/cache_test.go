@@ -1,0 +1,274 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/mem"
+)
+
+func mk(t *testing.T, size, ways int) *Cache {
+	t.Helper()
+	return New("t", Config{Size: size, Ways: ways, LineSize: 64})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Size: 0, Ways: 1, LineSize: 64},
+		{Size: 1024, Ways: 0, LineSize: 64},
+		{Size: 1024, Ways: 1, LineSize: 0},
+		{Size: 1000, Ways: 1, LineSize: 64},   // not divisible
+		{Size: 64 * 3, Ways: 1, LineSize: 64}, // sets not power of two
+		{Size: 1024, Ways: 1, LineSize: 48},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("accepted bad config %+v", c)
+		}
+	}
+	if (Config{Size: 8192, Ways: 2, LineSize: 64}).Validate() != nil {
+		t.Error("rejected valid config")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with bad config did not panic")
+		}
+	}()
+	New("bad", Config{Size: 1000, Ways: 1, LineSize: 64})
+}
+
+func TestStateHelpers(t *testing.T) {
+	if Invalid.Writable() || Shared.Writable() {
+		t.Error("I/S should not be writable")
+	}
+	if !Exclusive.Writable() || !Modified.Writable() {
+		t.Error("E/M should be writable")
+	}
+	if !Modified.Dirty() || Exclusive.Dirty() {
+		t.Error("dirty flags wrong")
+	}
+	for _, s := range []State{Invalid, Shared, Exclusive, Modified} {
+		if s.String() == "" {
+			t.Error("empty state string")
+		}
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := mk(t, 1024, 2)
+	a := mem.PAddr(0x1000)
+	if c.Access(a, false) != Miss {
+		t.Fatal("cold access should miss")
+	}
+	c.Insert(a, Shared)
+	if c.Access(a, false) != Hit {
+		t.Fatal("warm read should hit")
+	}
+	if c.Access(a, true) != HitUpgrade {
+		t.Fatal("write to Shared should need upgrade")
+	}
+	c.SetState(a, Exclusive)
+	if c.Access(a, true) != Hit {
+		t.Fatal("write to Exclusive should hit")
+	}
+	if c.Probe(a) != Modified {
+		t.Fatalf("state %v after write hit, want M", c.Probe(a))
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mk(t, 2*64, 2) // 1 set, 2 ways
+	a := mem.PAddr(0)
+	b := mem.PAddr(64 * 1) // same set (1 set total)
+	d := mem.PAddr(64 * 2)
+	c.Insert(a, Exclusive)
+	c.Insert(b, Exclusive)
+	c.Access(a, false) // a is MRU
+	v := c.Insert(d, Shared)
+	if !v.Valid || v.Addr != b {
+		t.Fatalf("victim %+v, want b", v)
+	}
+	if c.Probe(a) == Invalid || c.Probe(d) == Invalid {
+		t.Fatal("wrong lines evicted")
+	}
+}
+
+func TestDirtyVictimWriteback(t *testing.T) {
+	c := mk(t, 64, 1) // 1 line total
+	a, b := mem.PAddr(0), mem.PAddr(64)
+	c.Insert(a, Modified)
+	v := c.Insert(b, Shared)
+	if !v.Valid || !v.Dirty || v.Addr != a {
+		t.Fatalf("victim %+v, want dirty a", v)
+	}
+	if c.Stats.Writebacks != 1 || c.Stats.Evictions != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestInsertExistingUpdatesState(t *testing.T) {
+	c := mk(t, 1024, 2)
+	a := mem.PAddr(0x40)
+	c.Insert(a, Shared)
+	v := c.Insert(a, Modified)
+	if v.Valid {
+		t.Fatal("re-insert should not evict")
+	}
+	if c.Probe(a) != Modified {
+		t.Fatal("re-insert did not update state")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mk(t, 1024, 2)
+	a := mem.PAddr(0x80)
+	c.Insert(a, Modified)
+	if st := c.Invalidate(a); st != Modified {
+		t.Fatalf("invalidate returned %v, want M", st)
+	}
+	if c.Probe(a) != Invalid {
+		t.Fatal("line still present")
+	}
+	if st := c.Invalidate(a); st != Invalid {
+		t.Fatal("double invalidate should return I")
+	}
+}
+
+func TestInvalidateFrame(t *testing.T) {
+	g := mem.DefaultGeometry
+	c := mk(t, 8192, 4)
+	f := mem.FrameID(3)
+	for ln := 0; ln < 8; ln++ {
+		st := Shared
+		if ln%2 == 0 {
+			st = Modified
+		}
+		c.Insert(mem.NewPAddr(g, f, ln*64), st)
+	}
+	// Also a line from another frame that must survive.
+	other := mem.NewPAddr(g, 4, 0)
+	c.Insert(other, Exclusive)
+
+	dirty := c.InvalidateFrame(g, f)
+	if len(dirty) != 4 {
+		t.Fatalf("dirty lines %d, want 4", len(dirty))
+	}
+	for ln := 0; ln < 8; ln++ {
+		if c.Probe(mem.NewPAddr(g, f, ln*64)) != Invalid {
+			t.Fatal("frame line survived invalidation")
+		}
+	}
+	if c.Probe(other) != Exclusive {
+		t.Fatal("unrelated line was invalidated")
+	}
+}
+
+func TestFlushAndCountValid(t *testing.T) {
+	c := mk(t, 1024, 2)
+	c.Insert(mem.PAddr(0), Modified)
+	c.Insert(mem.PAddr(64), Shared)
+	if c.CountValid() != 2 {
+		t.Fatalf("valid %d, want 2", c.CountValid())
+	}
+	if n := c.Flush(); n != 1 {
+		t.Fatalf("flushed dirty %d, want 1", n)
+	}
+	if c.CountValid() != 0 {
+		t.Fatal("flush left lines")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := mk(t, 1024, 2)
+	a := mem.PAddr(0)
+	c.Access(a, false) // read miss
+	c.Insert(a, Shared)
+	c.Access(a, false)                // read hit
+	c.Access(a, true)                 // upgrade
+	c.Access(mem.PAddr(0x4000), true) // write miss
+	s := c.Stats
+	if s.Reads != 2 || s.Writes != 2 || s.ReadMisses != 1 || s.WriteMisses != 1 || s.Upgrades != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Hits() != 2 || s.Misses() != 2 {
+		t.Fatalf("derived stats hits=%d misses=%d", s.Hits(), s.Misses())
+	}
+	s.Reset()
+	if s.Reads != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCapacityBoundProperty(t *testing.T) {
+	// Property: valid lines never exceed capacity; a line just
+	// inserted is always present.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New("p", Config{Size: 2048, Ways: 4, LineSize: 64})
+		capLines := 2048 / 64
+		for i := 0; i < 500; i++ {
+			a := mem.PAddr(r.Intn(1<<16)) &^ 63
+			switch r.Intn(4) {
+			case 0:
+				c.Insert(a, State(1+r.Intn(3)))
+				if c.Probe(a) == Invalid {
+					return false
+				}
+			case 1:
+				c.Access(a, r.Intn(2) == 0)
+			case 2:
+				c.Invalidate(a)
+			case 3:
+				c.SetState(a, State(r.Intn(4)))
+			}
+			if c.CountValid() > capLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVictimRoundTripProperty(t *testing.T) {
+	// Property: the victim address reported by Insert re-indexes to
+	// the same set as the inserted line.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New("p", Config{Size: 1024, Ways: 2, LineSize: 64})
+		for i := 0; i < 300; i++ {
+			a := mem.PAddr(r.Intn(1<<18)) &^ 63
+			v := c.Insert(a, Exclusive)
+			if v.Valid {
+				s1, _ := c.index(a)
+				s2, _ := c.index(v.Addr)
+				if s1 != s2 {
+					return false
+				}
+				if v.Addr == a {
+					return false // never evict self
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	c := mk(t, 8192, 4)
+	if c.Sets() != 32 || c.Ways() != 4 || c.LineSize() != 64 {
+		t.Fatalf("geometry %d/%d/%d", c.Sets(), c.Ways(), c.LineSize())
+	}
+	if c.Name() != "t" {
+		t.Fatal("name lost")
+	}
+}

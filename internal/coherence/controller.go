@@ -1,0 +1,510 @@
+package coherence
+
+import (
+	"fmt"
+
+	"prism/internal/directory"
+	"prism/internal/mem"
+	"prism/internal/network"
+	"prism/internal/pit"
+	"prism/internal/sim"
+	"prism/internal/timing"
+)
+
+// Local is the view the controller has of its own node's hardware: the
+// processor caches reachable over the node bus. Implemented by
+// node.Node.
+type Local interface {
+	// Retrieve performs a bus transaction that obtains the latest copy
+	// of line pa from the node's processor caches, downgrading
+	// (inval=false) or invalidating (inval=true) processor copies.
+	// done runs in engine context; dirty reports whether a processor
+	// held the line Modified.
+	Retrieve(pa mem.PAddr, inval bool, done func(at sim.Time, dirty bool))
+
+	// InvalidateFrameLines removes every line of frame f from all
+	// processor caches (bulk, during page flushes) and returns the
+	// indexes of lines that were Modified in some cache.
+	InvalidateFrameLines(f mem.FrameID) []int
+}
+
+// HomeRouter resolves page homes. Implemented by the core machine's
+// global page registry (backed by the IPC server and the migration
+// manager).
+type HomeRouter interface {
+	// StaticHome returns the page's fixed static home.
+	StaticHome(g mem.GPage) mem.NodeID
+	// DynamicHome returns the current dynamic home as recorded at the
+	// static home (§3.5).
+	DynamicHome(g mem.GPage) mem.NodeID
+}
+
+// HomePager is the home-side kernel interface the controller notifies
+// when a flush with Drop arrives (client page-out bookkeeping).
+type HomePager interface {
+	// ClientDropped records that client src no longer maps page g.
+	ClientDropped(g mem.GPage, src mem.NodeID)
+}
+
+// Config holds controller options beyond timing.
+type Config struct {
+	// DirClientHints stores client frame numbers in directory entries
+	// so invalidations avoid the hash reverse-translation at clients
+	// (the trade-off discussed at the end of §4.3). Off by default,
+	// matching the paper's simulated configuration.
+	DirClientHints bool
+}
+
+// Stats counts controller protocol activity.
+type Stats struct {
+	// RemoteMisses counts misses to shared memory that fetched data
+	// from a remote node (the Table 4/5 statistic).
+	RemoteMisses uint64
+	// Upgrades counts exclusivity grants that moved no data.
+	Upgrades uint64
+	// WritebacksSent counts dirty LA-NUMA lines written back to homes.
+	WritebacksSent uint64
+	// InvsReceived and RecallsReceived count inbound protocol work.
+	InvsReceived    uint64
+	RecallsReceived uint64
+	// InvsSent counts invalidations issued by the home side.
+	InvsSent uint64
+	// Forwards counts misdirected requests re-routed after migration.
+	Forwards uint64
+	// FirewallFaults counts requests this home rejected.
+	FirewallFaults uint64
+	// FaultsSeen counts faulted responses received by this client.
+	FaultsSeen uint64
+	// HomeServed counts requests served by this node's home side.
+	HomeServed uint64
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+type lineKey struct {
+	page mem.GPage
+	line int
+}
+
+// clientTxn is an outstanding client-side transaction for one line.
+type clientTxn struct {
+	frame   mem.FrameID
+	excl    bool
+	fill    func(at sim.Time, excl, fault bool)
+	waiters []func(at sim.Time)
+}
+
+// homeTxn is an in-flight multi-party transaction at the home side.
+type homeTxn struct {
+	needAcks int
+	finish   func()
+	onRecall func(*RecallRespMsg)
+}
+
+// Controller is one node's PRISM coherence controller.
+type Controller struct {
+	e    *sim.Engine
+	node mem.NodeID
+	geom mem.Geometry
+	tm   *timing.T
+	cfg  Config
+
+	PIT *pit.PIT
+	Dir *directory.Directory
+
+	net    *network.Network
+	memRes *sim.Resource
+	local  Local
+	router HomeRouter
+	pager  HomePager
+
+	ctrl sim.Resource // controller occupancy
+
+	client     map[lineKey]*clientTxn
+	home       map[lineKey]*homeTxn
+	homeQ      map[lineKey][]func()
+	flushWait  map[uint64]func(at sim.Time)
+	flushToken uint64
+
+	// clientFrames caches client frame hints per page when
+	// DirClientHints is on: page → node → frame.
+	clientFrames map[mem.GPage]map[mem.NodeID]mem.FrameID
+
+	// migratedTo tombstones pages whose dynamic home moved away from
+	// this node; held queues home-role traffic during the migration
+	// window; pageTraffic holds the per-page hardware counters that
+	// drive migration policies (§3.5). All allocated lazily.
+	migratedTo  map[mem.GPage]mem.NodeID
+	held        map[mem.GPage][]func()
+	pageTraffic map[mem.GPage][]uint32
+
+	// refetchThreshold/onRefetch implement the R-NUMA-style reuse
+	// detector used by the bidirectional Dyn-Both policy: when a
+	// LA-NUMA frame's client refetch count crosses the threshold the
+	// kernel is notified (and typically converts the page to S-COMA).
+	refetchThreshold uint64
+	onRefetch        func(f mem.FrameID)
+
+	// Hardware lock protocol state (Sync-mode pages, §3.2): home-side
+	// lock queues and client-side pending acquires.
+	hwLocks  map[lineKey]*hwLock
+	lockWait map[lineKey][]func(sim.Time)
+
+	// SyncStats counts hardware-lock activity at this home.
+	SyncStats SyncStats
+
+	Stats Stats
+}
+
+// New wires up a controller. memRes is the node's local DRAM resource
+// (shared with the bus path for Local-mode accesses).
+func New(e *sim.Engine, node mem.NodeID, geom mem.Geometry, tm *timing.T, cfg Config,
+	p *pit.PIT, d *directory.Directory, net *network.Network, memRes *sim.Resource,
+	local Local, router HomeRouter, pager HomePager) *Controller {
+
+	c := &Controller{
+		e: e, node: node, geom: geom, tm: tm, cfg: cfg,
+		PIT: p, Dir: d, net: net, memRes: memRes,
+		local: local, router: router, pager: pager,
+		client:       make(map[lineKey]*clientTxn),
+		home:         make(map[lineKey]*homeTxn),
+		homeQ:        make(map[lineKey][]func()),
+		flushWait:    make(map[uint64]func(at sim.Time)),
+		clientFrames: make(map[mem.GPage]map[mem.NodeID]mem.FrameID),
+	}
+	c.ctrl.Name = fmt.Sprintf("ctrl%d", node)
+	return c
+}
+
+// Node returns the controller's node id.
+func (c *Controller) Node() mem.NodeID { return c.node }
+
+// SetRefetchHook arms the LA-NUMA reuse detector: fn runs (in engine
+// context) the first time a LA-NUMA frame accumulates threshold remote
+// refetches. Used by the bidirectional Dyn-Both policy.
+func (c *Controller) SetRefetchHook(threshold uint64, fn func(f mem.FrameID)) {
+	c.refetchThreshold = threshold
+	c.onRefetch = fn
+}
+
+// memAccess charges one local memory access and returns its completion
+// time.
+func (c *Controller) memAccess(at sim.Time, busy sim.Time) sim.Time {
+	return c.memRes.Acquire(at, busy) + busy
+}
+
+// ctrlBusy charges controller occupancy and returns the completion.
+func (c *Controller) ctrlBusy(at, busy sim.Time) sim.Time {
+	return c.ctrl.Acquire(at, busy) + busy
+}
+
+// send issues a message at the given model time (engine context).
+func (c *Controller) send(at sim.Time, dst mem.NodeID, size int, msg network.Message) {
+	c.net.Send(at, c.node, dst, size, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+// ClientFetch issues a remote request for line ln of local frame f
+// (mode S-COMA or LA-NUMA) at model time at. ent is f's PIT entry,
+// already looked up by the bus dispatch path. fill runs in engine
+// context when the line is usable by the requesting processor. If a
+// transaction for the same line is already outstanding (fine-grain tag
+// Transit), retry is queued and re-run after completion instead;
+// exactly one of fill or retry is eventually invoked.
+func (c *Controller) ClientFetch(at sim.Time, f mem.FrameID, ln int, write bool, ent *pit.Entry,
+	fill func(at sim.Time, excl, fault bool), retry func(at sim.Time)) {
+
+	key := lineKey{ent.GPage, ln}
+	if txn, ok := c.client[key]; ok {
+		txn.waiters = append(txn.waiters, retry)
+		return
+	}
+
+	upgrade := false
+	if ent.Mode == pit.ModeSCOMA {
+		upgrade = write && ent.Tags[ln] == pit.TagShared
+		c.PIT.SetTag(f, ln, pit.TagTransit)
+	}
+
+	c.client[key] = &clientTxn{frame: f, excl: write, fill: fill}
+
+	t := c.ctrlBusy(at, c.tm.CtrlOut)
+	c.send(t, ent.DynHome, c.tm.MsgHeader, &GetMsg{
+		Page: ent.GPage, Line: ln, From: c.node,
+		Excl: write, HaveData: upgrade,
+		ReqFrame:  f,
+		HomeFrame: ent.HomeFrame, HomeFrameOK: ent.HomeFrameKnown,
+	})
+}
+
+// handleData completes a client transaction.
+func (c *Controller) handleData(src mem.NodeID, m *DataMsg) {
+	key := lineKey{m.Page, m.Line}
+	txn, ok := c.client[key]
+	if !ok {
+		panic(fmt.Sprintf("coherence: node %d: data for %v line %d without transaction (from=%d excl=%v withData=%v fault=%v reqFrame=%d t=%d)",
+			c.node, m.Page, m.Line, src, m.Excl, m.WithData, m.Fault, m.ReqFrame, c.e.Now()))
+	}
+	delete(c.client, key)
+
+	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
+
+	ent := c.PIT.Entry(txn.frame)
+	if ent != nil && ent.Valid() && ent.GPage == m.Page && !m.Fault {
+		// Refresh migration and reverse-translation hints.
+		ent.DynHome = m.DynHome
+		ent.HomeFrame = m.HomeFrame
+		ent.HomeFrameKnown = true
+
+		if ent.Mode == pit.ModeSCOMA {
+			if m.WithData {
+				// Data is copied into the local page cache in parallel
+				// with the processor fill.
+				c.memAccess(t, c.tm.MemWrite)
+			}
+			if m.Excl {
+				c.PIT.SetTag(txn.frame, m.Line, pit.TagExclusive)
+			} else {
+				c.PIT.SetTag(txn.frame, m.Line, pit.TagShared)
+			}
+			ent.Dirty[m.Line] = false
+		}
+	} else if ent != nil && ent.Valid() && ent.GPage == m.Page && m.Fault {
+		// Faulted transaction: restore the tag so the line can be
+		// retried or remain invalid.
+		if ent.Mode == pit.ModeSCOMA {
+			c.PIT.SetTag(txn.frame, m.Line, pit.TagInvalid)
+		}
+	}
+
+	if m.Fault {
+		c.Stats.FaultsSeen++
+	} else if m.WithData {
+		c.Stats.RemoteMisses++
+		if ent != nil && ent.Valid() && ent.GPage == m.Page && ent.Mode == pit.ModeLANUMA {
+			ent.RemoteTraffic++ // client-side refetch counter
+			if c.refetchThreshold > 0 && ent.RemoteTraffic == c.refetchThreshold && c.onRefetch != nil {
+				frame := txn.frame
+				c.e.Schedule(1, func() { c.onRefetch(frame) })
+			}
+		}
+	} else {
+		c.Stats.Upgrades++
+	}
+
+	// Acknowledge consumption so the home unlocks the line.
+	c.send(t, m.DynHome, c.tm.MsgHeader, &GrantAckMsg{Page: m.Page, Line: m.Line})
+
+	fill, waiters := txn.fill, txn.waiters
+	c.e.At(t, func() { fill(t, m.Excl, m.Fault) })
+	for i, w := range waiters {
+		w := w
+		c.e.At(t+sim.Time(i+1)*2, func() { w(c.e.Now()) })
+	}
+}
+
+// ClientWriteback handles a dirty L2 eviction against frame f.
+// For S-COMA and Local frames the data lands in local memory; for
+// LA-NUMA frames it is written back to the home (the cost LA-NUMA
+// pays when the working set exceeds the processor caches).
+func (c *Controller) ClientWriteback(f mem.FrameID, ln int, ent *pit.Entry) {
+	switch ent.Mode {
+	case pit.ModeSCOMA:
+		c.memAccess(c.e.Now(), c.tm.MemWrite)
+		ent.Dirty[ln] = true
+	case pit.ModeLANUMA:
+		t := c.ctrlBusy(c.e.Now(), c.tm.CtrlOut)
+		c.Stats.WritebacksSent++
+		c.send(t, ent.DynHome, c.tm.MsgHeader+c.tm.LineBytes, &WBMsg{
+			Page: ent.GPage, Line: ln,
+			HomeFrame: ent.HomeFrame, HomeFrameOK: ent.HomeFrameKnown,
+		})
+	default:
+		c.memAccess(c.e.Now(), c.tm.MemWrite)
+	}
+}
+
+// FlushPage writes every dirty line of client frame f back to the home
+// and invalidates all local copies (processor caches and fine-grain
+// tags). If drop is true the home also removes this client from the
+// page's directory and client list (a page-out); done runs when the
+// home acknowledges. FlushPage must not be called while any line of
+// the frame is in Transit — victim-selection policies skip such frames.
+func (c *Controller) FlushPage(f mem.FrameID, drop bool, done func(at sim.Time)) {
+	ent := c.PIT.Entry(f)
+	if ent == nil || !ent.Valid() {
+		panic(fmt.Sprintf("coherence: node %d: FlushPage of unbound frame %d", c.node, f))
+	}
+	if ent.Mode == pit.ModeSCOMA && ent.InTransit() {
+		panic(fmt.Sprintf("coherence: node %d: FlushPage of in-transit frame %d", c.node, f))
+	}
+
+	dirtySet := make(map[int]bool)
+	for _, ln := range c.local.InvalidateFrameLines(f) {
+		dirtySet[ln] = true
+	}
+	if ent.Mode == pit.ModeSCOMA {
+		for ln := range ent.Dirty {
+			if ent.Dirty[ln] && ent.Tags[ln] == pit.TagExclusive {
+				dirtySet[ln] = true
+			}
+			c.PIT.SetTag(f, ln, pit.TagInvalid)
+			ent.Dirty[ln] = false
+		}
+	}
+	dirty := make([]int, 0, len(dirtySet))
+	for ln := 0; ln < c.geom.LinesPerPage(); ln++ {
+		if dirtySet[ln] {
+			dirty = append(dirty, ln)
+		}
+	}
+
+	c.flushToken++
+	tok := c.flushToken
+	c.flushWait[tok] = done
+
+	cost := c.tm.CtrlOut + sim.Time(len(dirty))*c.tm.PerLineFlush
+	t := c.ctrlBusy(c.e.Now(), cost)
+	c.send(t, ent.DynHome, c.tm.MsgHeader+len(dirty)*c.tm.LineBytes, &FlushMsg{
+		Page: ent.GPage, DirtyLines: dirty, Drop: drop,
+		HomeFrame: ent.HomeFrame, HomeFrameOK: ent.HomeFrameKnown,
+		From: c.node, Token: tok,
+	})
+}
+
+// handleFlushAck completes a FlushPage.
+func (c *Controller) handleFlushAck(m *FlushAckMsg) {
+	done := c.flushWait[m.Token]
+	delete(c.flushWait, m.Token)
+	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
+	if done != nil {
+		c.e.At(t, func() { done(t) })
+	}
+}
+
+// handleInv processes an invalidation of a shared line at this client.
+func (c *Controller) handleInv(src mem.NodeID, m *InvMsg) {
+	c.Stats.InvsReceived++
+	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
+
+	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.ClientFrame, m.ClientFrameOK)
+	t += cost
+	if ok {
+		ent := c.PIT.Entry(f)
+		if ent != nil && ent.Valid() && ent.GPage == m.Page {
+			if ent.Mode == pit.ModeSCOMA && ent.Tags[m.Line] != pit.TagTransit {
+				c.PIT.SetTag(f, m.Line, pit.TagInvalid)
+				ent.Dirty[m.Line] = false
+			}
+			pa := mem.NewPAddr(c.geom, f, m.Line*c.geom.LineSize)
+			c.e.At(t, func() {
+				c.local.Retrieve(pa, true, func(at sim.Time, _ bool) {
+					c.send(at, src, c.tm.MsgHeader, &InvAckMsg{Page: m.Page, Line: m.Line})
+				})
+			})
+			return
+		}
+	}
+	// Frame already unmapped (raced with a page-out): ack immediately.
+	c.send(t, src, c.tm.MsgHeader, &InvAckMsg{Page: m.Page, Line: m.Line})
+}
+
+// handleRecall processes a recall of an exclusively-held line.
+func (c *Controller) handleRecall(src mem.NodeID, m *RecallMsg) {
+	c.Stats.RecallsReceived++
+	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
+
+	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.ClientFrame, m.ClientFrameOK)
+	t += cost
+	if !ok {
+		c.send(t, src, c.tm.MsgHeader, &RecallRespMsg{Page: m.Page, Line: m.Line, Had: false})
+		return
+	}
+	ent := c.PIT.Entry(f)
+	if ent == nil || !ent.Valid() || ent.GPage != m.Page {
+		c.send(t, src, c.tm.MsgHeader, &RecallRespMsg{Page: m.Page, Line: m.Line, Had: false})
+		return
+	}
+
+	pa := mem.NewPAddr(c.geom, f, m.Line*c.geom.LineSize)
+	scomaDirty := false
+	if ent.Mode == pit.ModeSCOMA {
+		scomaDirty = ent.Dirty[m.Line]
+		if m.Inval {
+			if ent.Tags[m.Line] != pit.TagTransit {
+				c.PIT.SetTag(f, m.Line, pit.TagInvalid)
+			}
+		} else if ent.Tags[m.Line] == pit.TagExclusive {
+			c.PIT.SetTag(f, m.Line, pit.TagShared)
+		}
+		ent.Dirty[m.Line] = false
+	}
+
+	c.e.At(t, func() {
+		c.local.Retrieve(pa, m.Inval, func(at sim.Time, procDirty bool) {
+			dirty := procDirty || scomaDirty
+			// Data goes straight to the requester; the (sharing)
+			// writeback goes to the home in parallel.
+			c.send(at, m.Requester, c.tm.MsgHeader+c.tm.LineBytes, &DataMsg{
+				Page: m.Page, Line: m.Line, ReqFrame: m.ReqFrame,
+				Excl: m.Inval, WithData: true,
+				HomeFrame: m.HomeFrame, DynHome: src,
+			})
+			size := c.tm.MsgHeader
+			if dirty {
+				size += c.tm.LineBytes
+			}
+			c.send(at, src, size, &RecallRespMsg{Page: m.Page, Line: m.Line, Dirty: dirty, Had: true})
+		})
+	})
+}
+
+// Deliver implements network.Handler dispatch for coherence traffic.
+// It returns false for message types it does not own (paging traffic),
+// which the node routes to the kernel.
+func (c *Controller) Deliver(src mem.NodeID, msg network.Message) bool {
+	switch m := msg.(type) {
+	case *GetMsg:
+		if c.holdIfMigrating(m.Page, func() { c.handleGet(src, m, false) }) {
+			return true
+		}
+		c.handleGet(src, m, false)
+	case *DataMsg:
+		c.handleData(src, m)
+	case *GrantAckMsg:
+		c.handleGrantAck(src, m)
+	case *InvMsg:
+		c.handleInv(src, m)
+	case *InvAckMsg:
+		c.handleInvAck(src, m)
+	case *RecallMsg:
+		c.handleRecall(src, m)
+	case *RecallRespMsg:
+		c.handleRecallResp(src, m)
+	case *WBMsg:
+		if c.holdIfMigrating(m.Page, func() { c.handleWB(src, m) }) {
+			return true
+		}
+		c.handleWB(src, m)
+	case *FlushMsg:
+		if c.holdIfMigrating(m.Page, func() { c.handleFlush(src, m) }) {
+			return true
+		}
+		c.handleFlush(src, m)
+	case *FlushAckMsg:
+		c.handleFlushAck(m)
+	case *LockReqMsg:
+		c.handleLockReq(src, m)
+	case *LockGrantMsg:
+		c.handleLockGrant(src, m)
+	case *UnlockMsg:
+		c.handleUnlock(src, m)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,454 @@
+package coherence
+
+import (
+	"fmt"
+
+	"prism/internal/directory"
+	"prism/internal/mem"
+	"prism/internal/pit"
+	"prism/internal/sim"
+)
+
+// reply sends the home's response for a Get transaction.
+func (c *Controller) reply(t sim.Time, dst mem.NodeID, m *GetMsg, withData, excl, fault bool, homeFrame mem.FrameID) {
+	size := c.tm.MsgHeader
+	if withData {
+		size += c.tm.LineBytes
+	}
+	out := c.ctrlBusy(t, c.tm.CtrlOut)
+	c.send(out, dst, size, &DataMsg{
+		Page: m.Page, Line: m.Line, ReqFrame: m.ReqFrame,
+		Excl: excl, WithData: withData, Fault: fault,
+		HomeFrame: homeFrame, DynHome: c.node,
+	})
+}
+
+// routeAway picks where to send a request this node cannot serve: the
+// migration tombstone if one exists, else via the static home.
+func (c *Controller) routeAway(g mem.GPage) mem.NodeID {
+	if dst, ok := c.forwardTarget(g); ok {
+		return dst
+	}
+	if c.node == c.router.StaticHome(g) {
+		return c.router.DynamicHome(g)
+	}
+	return c.router.StaticHome(g)
+}
+
+// forward re-routes a request that arrived at a node which no longer
+// (or never) holds the page's directory — the misdirected-request path
+// of lazy page migration (§3.5).
+func (c *Controller) forward(t sim.Time, src mem.NodeID, m *GetMsg) {
+	if m.Hops > 2*c.net.Nodes() {
+		panic(fmt.Sprintf("coherence: routing loop for %v (hops=%d)", m.Page, m.Hops))
+	}
+	dst := c.routeAway(m.Page)
+	if dst == c.node {
+		panic(fmt.Sprintf("coherence: node %d cannot route %v: registry says it is here", c.node, m.Page))
+	}
+	c.Stats.Forwards++
+	fm := *m
+	fm.Hops++
+	fm.HomeFrameOK = false // the hint was for the wrong node
+	out := c.ctrlBusy(t, c.tm.CtrlOut)
+	c.send(out, dst, c.tm.MsgHeader, &fm)
+	// Forwarding preserves the original requester: the eventual reply
+	// goes straight back to src with the new DynHome, which is how
+	// client PIT entries self-correct.
+	_ = src
+}
+
+// lockLine marks a line busy for a multi-party home transaction.
+func (c *Controller) lockLine(key lineKey, needAcks int, finish func()) *homeTxn {
+	if c.home[key] != nil {
+		panic(fmt.Sprintf("coherence: node %d: line %v already locked", c.node, key))
+	}
+	txn := &homeTxn{needAcks: needAcks, finish: finish}
+	c.home[key] = txn
+	return txn
+}
+
+// unlockLine releases a line and restarts queued requests.
+func (c *Controller) unlockLine(key lineKey) {
+	delete(c.home, key)
+	c.drainQueue(key)
+}
+
+// drainQueue pops one queued request for the line. If that request
+// completes synchronously (it did not re-lock the line), the next one
+// is drained in turn — otherwise its unlockLine continues the drain.
+func (c *Controller) drainQueue(key lineKey) {
+	q := c.homeQ[key]
+	if len(q) == 0 {
+		delete(c.homeQ, key)
+		return
+	}
+	next := q[0]
+	if len(q) == 1 {
+		delete(c.homeQ, key)
+	} else {
+		c.homeQ[key] = q[1:]
+	}
+	c.e.Schedule(0, func() {
+		next()
+		if c.home[key] == nil {
+			c.drainQueue(key)
+		}
+	})
+}
+
+// ack counts one acknowledgement toward a home transaction.
+func (c *Controller) ack(key lineKey) {
+	txn := c.home[key]
+	if txn == nil {
+		// A stale ack (e.g. the sharer was also dropped by a page-out
+		// that completed the transaction early). Ignore.
+		return
+	}
+	txn.needAcks--
+	if txn.needAcks == 0 {
+		txn.finish()
+	}
+}
+
+// handleGet is the home side of the protocol: Figure 4's "translate,
+// compose message, consult directory" path.
+func (c *Controller) handleGet(src mem.NodeID, m *GetMsg, requeued bool) {
+	// The request may have been forwarded; the requester is m.From,
+	// not the transport-level sender.
+	src = m.From
+	t := c.e.Now()
+	if !requeued {
+		t = c.ctrlBusy(t, c.tm.CtrlIn)
+	}
+
+	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.HomeFrame, m.HomeFrameOK)
+	t += cost
+	if !ok {
+		c.forward(t, src, m)
+		return
+	}
+	ent := c.PIT.Entry(f)
+	if ent == nil || !ent.Valid() || ent.GPage != m.Page {
+		c.forward(t, src, m)
+		return
+	}
+	if ent.DynHome != c.node {
+		// This node was the page's home once but the dynamic home
+		// migrated: its own PIT entry acts as the tombstone.
+		c.forward(t, src, m)
+		return
+	}
+
+	if src != c.node && !c.PIT.CheckAccess(f, src) {
+		c.Stats.FirewallFaults++
+		c.reply(t, src, m, false, false, true, f)
+		return
+	}
+
+	key := lineKey{m.Page, m.Line}
+	if c.home[key] != nil {
+		c.homeQ[key] = append(c.homeQ[key], func() { c.handleGet(src, m, true) })
+		return
+	}
+
+	e, dcost, hasDir := c.Dir.Access(m.Page, m.Line)
+	t += dcost
+	if !hasDir {
+		c.forward(t, src, m)
+		return
+	}
+
+	c.Stats.HomeServed++
+	c.PIT.Touch(f, m.Line, t, src != c.node)
+	if src != c.node {
+		c.recordTraffic(m.Page, src)
+	}
+	if c.cfg.DirClientHints && src != c.node {
+		cf := c.clientFrames[m.Page]
+		if cf == nil {
+			cf = make(map[mem.NodeID]mem.FrameID)
+			c.clientFrames[m.Page] = cf
+		}
+		cf[src] = m.ReqFrame
+	}
+
+	pa := mem.NewPAddr(c.geom, f, m.Line*c.geom.LineSize)
+
+	switch {
+	case e.Excl && e.Owner == c.node && src != c.node:
+		// The home's own processors may hold the line modified:
+		// retrieve it over the home bus (Table 1: "2-party read/write
+		// to a modified line").
+		c.lockLine(key, 1, nil) // finish set below via closure
+		txn := c.home[key]
+		txn.finish = func() {}
+		c.e.At(t, func() {
+			c.local.Retrieve(pa, m.Excl, func(at sim.Time, dirty bool) {
+				if dirty {
+					at = c.memAccess(at, c.tm.MemWrite)
+				}
+				if ent.Mode == pit.ModeSCOMA {
+					if m.Excl {
+						c.PIT.SetTag(f, m.Line, pit.TagInvalid)
+					} else {
+						c.PIT.SetTag(f, m.Line, pit.TagShared)
+					}
+					ent.Dirty[m.Line] = false
+				}
+				if m.Excl {
+					*e = dirLineExcl(src)
+				} else {
+					e.Excl = false
+					e.Owner = 0
+					e.Sharers = 0
+					e.AddSharer(c.node)
+					e.AddSharer(src)
+				}
+				rm := c.memAccess(at, c.tm.MemRead)
+				c.reply(rm, src, m, true, m.Excl, false, f)
+				c.awaitGrantAck(key)
+			})
+		})
+
+	case e.Excl && e.Owner == src:
+		// The owner re-requests: it silently evicted its copy (clean
+		// LA-NUMA eviction). Home memory is current; re-grant
+		// exclusivity regardless of the request flavor.
+		c.lockLine(key, 1, func() { c.unlockLine(key) })
+		rm := c.memAccess(t, c.tm.MemRead)
+		c.reply(rm, src, m, true, true, false, f)
+
+	case e.Excl:
+		// Third-party owner: forward the request (Table 1: "3-party
+		// read/write"). The owner sends the data directly to the
+		// requester; the home waits only for the sharing writeback.
+		owner := e.Owner
+		c.lockLine(key, 2, func() { c.unlockLine(key) })
+		hint, hintOK := c.clientHint(m.Page, owner)
+		out := c.ctrlBusy(t, c.tm.CtrlOut)
+		c.send(out, owner, c.tm.MsgHeader, &RecallMsg{
+			Page: m.Page, Line: m.Line, Inval: m.Excl,
+			ClientFrame: hint, ClientFrameOK: hintOK,
+			Requester: src, ReqFrame: m.ReqFrame, HomeFrame: f,
+		})
+		c.pendingRecall(key, func(resp *RecallRespMsg) {
+			at := c.e.Now()
+			if resp.Dirty {
+				at = c.memAccess(at, c.tm.MemWrite)
+			}
+			if m.Excl {
+				*e = dirLineExcl(src)
+			} else if resp.Had {
+				e.Excl = false
+				e.Owner = 0
+				e.Sharers = 0
+				e.AddSharer(owner)
+				e.AddSharer(src)
+			} else {
+				// Owner had silently evicted and could not reply: the
+				// home supplies the data and grants exclusivity (sole
+				// copy).
+				*e = dirLineExcl(src)
+			}
+			if !resp.Had {
+				rm := c.memAccess(at, c.tm.MemRead)
+				c.reply(rm, src, m, true, true, false, f)
+			}
+		})
+
+	case !m.Excl:
+		// GETS on a shared (or uncached) line: home memory is current.
+		e.AddSharer(src)
+		excl := e.SharerCount() == 1
+		if excl {
+			*e = dirLineExcl(src)
+			if src != c.node && ent.Mode == pit.ModeSCOMA {
+				// Home granted exclusivity away; its own tag must not
+				// claim the line (it had no copy: it was not a sharer).
+				c.PIT.SetTag(f, m.Line, pit.TagInvalid)
+			}
+		}
+		c.lockLine(key, 1, func() { c.unlockLine(key) })
+		rm := c.memAccess(t, c.tm.MemRead)
+		c.reply(rm, src, m, true, excl, false, f)
+
+	case m.Excl:
+		// GETX on a shared line: invalidate every other sharer
+		// (Table 1: "(3+n)-party write to shared line").
+		sharers := e.SharerList(src, c.net.Nodes())
+		withData := !(m.HaveData && e.IsSharer(src))
+		if len(sharers) == 0 {
+			*e = dirLineExcl(src)
+			if src != c.node && ent.Mode == pit.ModeSCOMA {
+				c.PIT.SetTag(f, m.Line, pit.TagInvalid)
+			}
+			// The home reads memory even on an upgrade (validation of
+			// the grant), though no data payload crosses the network.
+			c.lockLine(key, 1, func() { c.unlockLine(key) })
+			rm := c.memAccess(t, c.tm.MemRead)
+			c.reply(rm, src, m, withData, true, false, f)
+			return
+		}
+		c.lockLine(key, len(sharers), func() {
+			*e = dirLineExcl(src)
+			if src != c.node && ent.Mode == pit.ModeSCOMA {
+				c.PIT.SetTag(f, m.Line, pit.TagInvalid)
+			}
+			at := c.memAccess(c.e.Now(), c.tm.MemRead)
+			c.reply(at, src, m, withData, true, false, f)
+			c.awaitGrantAck(key)
+		})
+		for i, s := range sharers {
+			stagger := sim.Time(i) * c.tm.InvStagger
+			if s == c.node {
+				// Invalidate the home's own copies locally.
+				if ent.Mode == pit.ModeSCOMA && ent.Tags[m.Line] != pit.TagTransit {
+					c.PIT.SetTag(f, m.Line, pit.TagInvalid)
+				}
+				c.e.At(t+stagger, func() {
+					c.local.Retrieve(pa, true, func(at sim.Time, _ bool) {
+						c.ack(key)
+					})
+				})
+				continue
+			}
+			c.Stats.InvsSent++
+			hint, hintOK := c.clientHint(m.Page, s)
+			out := c.ctrlBusy(t+stagger, c.tm.CtrlOut)
+			c.send(out, s, c.tm.MsgHeader, &InvMsg{
+				Page: m.Page, Line: m.Line,
+				ClientFrame: hint, ClientFrameOK: hintOK,
+			})
+		}
+	}
+}
+
+func dirLineExcl(owner mem.NodeID) directory.Line {
+	return directory.Line{Excl: true, Owner: owner}
+}
+
+// clientHint returns the cached client frame for (page, node) when the
+// DirClientHints option is enabled.
+func (c *Controller) clientHint(g mem.GPage, n mem.NodeID) (mem.FrameID, bool) {
+	if !c.cfg.DirClientHints {
+		return 0, false
+	}
+	f, ok := c.clientFrames[g][n]
+	return f, ok
+}
+
+// pendingRecall stashes the continuation for a recall in flight.
+func (c *Controller) pendingRecall(key lineKey, fn func(*RecallRespMsg)) {
+	txn := c.home[key]
+	if txn == nil {
+		panic("coherence: pendingRecall without locked line")
+	}
+	txn.onRecall = fn
+}
+
+// awaitGrantAck converts a locked line's transaction into one waiting
+// solely for the requester's GrantAckMsg.
+func (c *Controller) awaitGrantAck(key lineKey) {
+	txn := c.home[key]
+	if txn == nil {
+		panic("coherence: awaitGrantAck without locked line")
+	}
+	txn.needAcks = 1
+	txn.finish = func() { c.unlockLine(key) }
+}
+
+// handleGrantAck unlocks a line whose grant has been consumed.
+func (c *Controller) handleGrantAck(src mem.NodeID, m *GrantAckMsg) {
+	c.ctrlBusy(c.e.Now(), c.tm.CtrlIn/4)
+	c.ack(lineKey{m.Page, m.Line})
+}
+
+// handleInvAck counts an invalidation acknowledgement.
+func (c *Controller) handleInvAck(src mem.NodeID, m *InvAckMsg) {
+	c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
+	c.ack(lineKey{m.Page, m.Line})
+}
+
+// handleRecallResp resumes the transaction waiting on a recall.
+func (c *Controller) handleRecallResp(src mem.NodeID, m *RecallRespMsg) {
+	c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
+	key := lineKey{m.Page, m.Line}
+	txn := c.home[key]
+	if txn == nil || txn.onRecall == nil {
+		return // transaction superseded by a page drop
+	}
+	fn := txn.onRecall
+	txn.onRecall = nil
+	fn(m)
+	c.ack(key)
+}
+
+// handleWB applies a dirty LA-NUMA eviction writeback to home memory.
+func (c *Controller) handleWB(src mem.NodeID, m *WBMsg) {
+	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
+	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.HomeFrame, m.HomeFrameOK)
+	t += cost
+	if ok {
+		if ent := c.PIT.Entry(f); ent == nil || !ent.Valid() || ent.GPage != m.Page || ent.DynHome != c.node {
+			ok = false // not (or no longer) the home
+		}
+	}
+	if !ok {
+		// Page migrated away mid-flight; forward the writeback.
+		dst := c.routeAway(m.Page)
+		if dst != c.node {
+			c.Stats.Forwards++
+			fm := *m
+			fm.HomeFrameOK = false
+			c.send(t, dst, c.tm.MsgHeader+c.tm.LineBytes, &fm)
+		}
+		return
+	}
+	c.memAccess(t, c.tm.MemWrite)
+	e, _, hasDir := c.Dir.Access(m.Page, m.Line)
+	if hasDir && e.Excl && e.Owner == src {
+		e.Excl = false
+		e.Owner = 0
+		e.Sharers = 0
+	}
+}
+
+// handleFlush applies a page flush (page-out or mode conversion) from
+// a client: writes back the dirty lines, removes the client from the
+// page's directory, optionally notifies the kernel, and acknowledges.
+func (c *Controller) handleFlush(src mem.NodeID, m *FlushMsg) {
+	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn+sim.Time(len(m.DirtyLines))*2)
+	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.HomeFrame, m.HomeFrameOK)
+	t += cost
+	if ok {
+		if ent := c.PIT.Entry(f); ent == nil || !ent.Valid() || ent.GPage != m.Page || ent.DynHome != c.node {
+			ok = false
+		}
+	}
+	if !ok {
+		// The dynamic home moved; forward the flush so the dirty data
+		// and directory drop land at the authoritative node.
+		if dst := c.routeAway(m.Page); dst != c.node {
+			c.Stats.Forwards++
+			fm := *m
+			fm.HomeFrameOK = false
+			c.send(t, dst, c.tm.MsgHeader+len(m.DirtyLines)*c.tm.LineBytes, &fm)
+			return
+		}
+		ok = false
+	}
+	if ok {
+		if len(m.DirtyLines) > 0 {
+			t = c.memAccess(t, sim.Time(len(m.DirtyLines))*c.tm.MemWrite)
+		}
+		// In-flight invalidations to this client are still acked by it
+		// (clients ack unmapped frames), so pending transactions drain
+		// naturally; the drop only cleans the directory's view.
+		c.Dir.DropNode(m.Page, m.From)
+	}
+	if m.Drop && c.pager != nil {
+		c.pager.ClientDropped(m.Page, m.From)
+	}
+	c.send(t, m.From, c.tm.MsgHeader, &FlushAckMsg{Page: m.Page, Token: m.Token})
+}

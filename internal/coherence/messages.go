@@ -1,0 +1,146 @@
+// Package coherence implements PRISM's coherence controller: the
+// protocol dispatcher that takes different actions based on page-frame
+// modes, the client and home sides of the inter-node protocol, the
+// S-COMA fine-grain tag transitions, LA-NUMA "controller as memory"
+// behaviour, page flushes, and the forwarding path used by lazy page
+// migration.
+package coherence
+
+import (
+	"prism/internal/mem"
+)
+
+// GetMsg is a client request for a line: GETS (Excl=false) or GETX
+// (Excl=true). HaveData marks an upgrade — the client already holds a
+// valid shared copy and needs only exclusivity.
+type GetMsg struct {
+	Page mem.GPage
+	Line int
+	Excl bool
+	// From is the requesting node. It matters because a misdirected
+	// request may be forwarded (lazy migration): the node that finally
+	// serves it replies to From, not to the last forwarder.
+	From mem.NodeID
+	// HaveData is set on an upgrade request (write to a Shared line).
+	HaveData bool
+	// ReqFrame is the requesting node's local frame, echoed in the
+	// response so the client can match its transaction, and cached by
+	// the home as a client-frame hint when that option is enabled.
+	ReqFrame mem.FrameID
+	// HomeFrame is the requester's guess of the page's frame at the
+	// home (from its PIT entry), used to optimize reverse translation.
+	HomeFrame   mem.FrameID
+	HomeFrameOK bool
+	// Hops counts forwarding steps, to detect routing loops.
+	Hops int
+}
+
+// DataMsg is the home's response to a GetMsg. WithData=false is an
+// upgrade acknowledgement (exclusivity granted, no data moved).
+type DataMsg struct {
+	Page     mem.GPage
+	Line     int
+	ReqFrame mem.FrameID
+	Excl     bool
+	WithData bool
+	// Fault is set when the memory firewall rejected the access; the
+	// requester's transaction completes with an access fault and no
+	// state change anywhere.
+	Fault bool
+	// HomeFrame refreshes the client's reverse-translation hint;
+	// DynHome refreshes the client's idea of the page's dynamic home
+	// (it changes after a lazy migration).
+	HomeFrame mem.FrameID
+	DynHome   mem.NodeID
+}
+
+// GrantAckMsg tells the home that the requester has consumed a grant.
+// The home keeps the line locked from the moment it decides a grant
+// until this acknowledgement: without it, a second request could be
+// processed while the first grant is still in flight, and the late
+// grant would overwrite the downgrade (a classic DSM race).
+type GrantAckMsg struct {
+	Page mem.GPage
+	Line int
+}
+
+// InvMsg tells a sharer to drop its (clean) copy of a line.
+type InvMsg struct {
+	Page mem.GPage
+	Line int
+	// ClientFrame is the home's cached hint of the sharer's frame;
+	// only populated when Config.DirClientHints is enabled (§4.3
+	// discusses this directory-size/PIT-lookup trade-off).
+	ClientFrame   mem.FrameID
+	ClientFrameOK bool
+}
+
+// InvAckMsg acknowledges an InvMsg.
+type InvAckMsg struct {
+	Page mem.GPage
+	Line int
+}
+
+// RecallMsg tells the exclusive owner of a line to return it — the
+// forwarded request of the 3-party transaction. Inval=true also
+// invalidates the owner's copy (another node wants exclusivity);
+// Inval=false downgrades it to shared. The owner replies with data
+// DIRECTLY to the requester (DASH-style forwarding, which is what
+// gives the paper's 866-cycle 3-party latency) and sends a
+// RecallRespMsg sharing-writeback to the home in parallel.
+type RecallMsg struct {
+	Page          mem.GPage
+	Line          int
+	Inval         bool
+	ClientFrame   mem.FrameID
+	ClientFrameOK bool
+	// Requester identifies who gets the data; ReqFrame and HomeFrame
+	// let the owner compose the direct DataMsg (HomeFrame refreshes
+	// the requester's reverse-translation hint; Home is the dynamic
+	// home the reply should advertise).
+	Requester mem.NodeID
+	ReqFrame  mem.FrameID
+	HomeFrame mem.FrameID
+}
+
+// RecallRespMsg answers a RecallMsg at the home. Dirty means the
+// payload carries modified data for home memory. Had=false means the
+// owner no longer held the line (a silent clean eviction raced with
+// the recall) and did NOT reply to the requester — the home must.
+type RecallRespMsg struct {
+	Page  mem.GPage
+	Line  int
+	Dirty bool
+	Had   bool
+}
+
+// WBMsg is an eviction writeback of a dirty LA-NUMA line from a
+// client's L2 to home memory. Fire-and-forget.
+type WBMsg struct {
+	Page        mem.GPage
+	Line        int
+	HomeFrame   mem.FrameID
+	HomeFrameOK bool
+}
+
+// FlushMsg carries every dirty line of a client page frame back to the
+// home during a page-out or a page-mode conversion, and (Drop=true)
+// removes the client from the page's directory and client list.
+type FlushMsg struct {
+	Page        mem.GPage
+	DirtyLines  []int
+	Drop        bool
+	HomeFrame   mem.FrameID
+	HomeFrameOK bool
+	// From is the flushing client (the acknowledgement target); it
+	// survives forwarding when the flush chases a migrated home.
+	From mem.NodeID
+	// Token lets the client match the FlushAckMsg.
+	Token uint64
+}
+
+// FlushAckMsg confirms a FlushMsg has been applied at the home.
+type FlushAckMsg struct {
+	Page  mem.GPage
+	Token uint64
+}

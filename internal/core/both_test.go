@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/policy"
+)
+
+// reuseWL creates the pathology Dyn-Both fixes (§4.3: "reuse pages
+// were converted to LA-NUMA mode, and cache capacity evictions caused
+// the data on those pages to be repeatedly refetched"): a hot region
+// is idle while a cold stream fills the page cache (converting the
+// hot pages to LA-NUMA under Dyn-LRU), then the hot region is reused
+// heavily. Dyn-LRU leaves the hot pages pinned LA-NUMA forever;
+// Dyn-Both converts them back after the refetch threshold.
+type reuseWL struct {
+	hot   mem.VAddr
+	cold  mem.VAddr
+	hotB  int
+	coldB int
+	loops int
+}
+
+func (w *reuseWL) Name() string { return "reuse" }
+
+func (w *reuseWL) Setup(m *Machine) error {
+	w.hotB = 16 << 10
+	w.coldB = 96 << 10
+	w.loops = 24
+	var err error
+	if w.hot, err = m.Alloc("reuse.hot", uint64(w.hotB)); err != nil {
+		return err
+	}
+	w.cold, err = m.Alloc("reuse.cold", uint64(w.coldB))
+	return err
+}
+
+func (w *reuseWL) Run(ctx *Ctx) {
+	p := ctx.P
+	ctx.BeginParallel()
+	// Touch the hot region once, then let it go idle.
+	p.ReadRange(w.hot, w.hotB)
+	p.Barrier(1)
+	// Cold streaming fills the page cache; LRU victims are the hot
+	// pages, which get converted to LA-NUMA mode.
+	for l := 0; l < 3; l++ {
+		p.ReadRange(w.cold, w.coldB)
+		p.Barrier(2)
+	}
+	// Heavy reuse of the hot region.
+	for l := 0; l < w.loops; l++ {
+		p.ReadRange(w.hot, w.hotB)
+		p.Barrier(3)
+	}
+	ctx.EndParallel()
+}
+
+func runReuse(t *testing.T, pol policy.Policy) Results {
+	t.Helper()
+	cfg := testConfig()
+	// Tiny caches so the working set spills, tiny page cache so pages
+	// convert to LA-NUMA quickly.
+	cfg.Node.L1.Size = 1 << 10
+	cfg.Node.L2.Size = 2 << 10
+	cfg.Policy = pol
+	cfg.PageCacheCaps = []int{8, 8, 8, 8}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(&reuseWL{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return res
+}
+
+func TestDynBothConvertsBack(t *testing.T) {
+	res := runReuse(t, policy.DynBoth{Threshold: 32})
+	if res.Conversions == 0 {
+		t.Fatal("no forward conversions; the scenario is wrong")
+	}
+	if res.ReverseConvs == 0 {
+		t.Fatal("Dyn-Both never converted a reuse page back to S-COMA")
+	}
+}
+
+func TestDynBothBeatsDynLRUOnReuse(t *testing.T) {
+	lru := runReuse(t, policy.DynLRU{})
+	both := runReuse(t, policy.DynBoth{Threshold: 32})
+	if both.RemoteMisses >= lru.RemoteMisses {
+		t.Errorf("Dyn-Both remote misses %d !< Dyn-LRU %d on a reuse workload",
+			both.RemoteMisses, lru.RemoteMisses)
+	}
+}
+
+func TestDynBothByName(t *testing.T) {
+	p, err := policy.ByName("Dyn-Both")
+	if err != nil || p.Name() != "Dyn-Both" {
+		t.Fatalf("ByName: %v %v", p, err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+
+	"prism/internal/mem"
+	"prism/internal/sim"
+)
+
+// chaosWL drives the protocol with a seeded random mix of reads,
+// writes, range scans, barriers, locks and compute across a shared
+// region sized to force capacity traffic — a protocol fuzzer. The
+// post-run invariant audit is the oracle.
+type chaosWL struct {
+	seed  int64
+	base  mem.VAddr
+	bytes int
+	ops   int
+}
+
+func (w *chaosWL) Name() string { return "chaos" }
+
+func (w *chaosWL) Setup(m *Machine) error {
+	w.bytes = 96 << 10
+	if w.ops == 0 {
+		w.ops = 1500
+	}
+	b, err := m.Alloc("chaos.data", uint64(w.bytes))
+	w.base = b
+	return err
+}
+
+func (w *chaosWL) Run(ctx *Ctx) {
+	p := ctx.P
+	r := rand.New(rand.NewSource(w.seed + int64(ctx.ID)*7919))
+	lines := w.bytes / 64
+	hot := lines / 16 // a contended subset
+
+	for op := 0; op < w.ops; op++ {
+		switch r.Intn(12) {
+		case 0, 1, 2, 3: // random read
+			p.Read(w.base + mem.VAddr(r.Intn(lines)*64))
+		case 4, 5: // random write
+			p.Write(w.base + mem.VAddr(r.Intn(lines)*64))
+		case 6: // hot-set write (heavy invalidation traffic)
+			p.Write(w.base + mem.VAddr(r.Intn(hot)*64))
+		case 7: // short scan
+			start := r.Intn(lines - 16)
+			p.ReadRange(w.base+mem.VAddr(start*64), 16*64)
+		case 8: // private work
+			p.WriteRange(ctx.PrivateBase()+mem.VAddr(r.Intn(64)*64), 4*64)
+		case 9: // lock-protected hot write
+			lk := r.Intn(8)
+			p.Lock(lk)
+			p.Write(w.base + mem.VAddr(lk*64))
+			p.Unlock(lk)
+		case 10, 11: // compute
+			p.Compute(sim.Time(r.Intn(200)))
+		}
+		// Barrier at fixed op counts so every processor arrives the
+		// same number of times regardless of its random stream.
+		if op%500 == 250 {
+			p.Barrier(7)
+		}
+	}
+}
+
+// ChaosWorkload builds the protocol fuzzer: a seeded random mix of
+// reads, writes, scans, locks, barriers and compute over a shared
+// region under heavy capacity pressure. Deterministic per seed. Tests
+// across packages run it and audit the result with CheckInvariants.
+func ChaosWorkload(seed int64) Workload { return &chaosWL{seed: seed} }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/policy"
+)
+
+func TestProtocolFuzz(t *testing.T) {
+	pols := []policy.Policy{
+		policy.SCOMA{}, policy.LANUMA{}, policy.SCOMA70{},
+		policy.DynFCFS{}, policy.DynUtil{}, policy.DynLRU{},
+		policy.DynBoth{Threshold: 16},
+	}
+	seeds := []int64{1, 42, 777}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, pol := range pols {
+		for _, seed := range seeds {
+			pol, seed := pol, seed
+			t.Run(pol.Name()+"/"+string(rune('a'+seed%26)), func(t *testing.T) {
+				cfg := testConfig()
+				cfg.Node.L1.Size = 1 << 10 // heavy capacity pressure
+				cfg.Node.L2.Size = 2 << 10
+				cfg.Policy = pol
+				if pol.Name() != "SCOMA" && pol.Name() != "LANUMA" {
+					cfg.PageCacheCaps = []int{3, 3, 3, 3}
+				}
+				m, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Run(&chaosWL{seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Refs == 0 {
+					t.Fatal("fuzzer did nothing")
+				}
+			})
+		}
+	}
+}
+
+func TestProtocolFuzzConfigMatrix(t *testing.T) {
+	// Orthogonal configuration knobs under the fuzzer: directory
+	// client-frame hints, disabled home flags, DRAM PIT, hardware sync
+	// pages. Each must preserve the global invariants.
+	type knob struct {
+		name string
+		mut  func(*Config)
+	}
+	knobs := []knob{
+		{"dir-client-hints", func(c *Config) { c.Node.CtrlCfg.DirClientHints = true }},
+		{"no-home-flags", func(c *Config) { c.Kernel.NoHomeFlags = true }},
+		{"dram-pit", func(c *Config) { c.Node.PITConfig.AccessTime = 10 }},
+		{"hw-sync", func(c *Config) { c.HardwareSync = true }},
+		{"tiny-dir-cache", func(c *Config) { c.Node.DirConfig.CacheEntries = 64 }},
+	}
+	for _, k := range knobs {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Node.L1.Size = 1 << 10
+			cfg.Node.L2.Size = 2 << 10
+			cfg.Policy = policy.SCOMA70{}
+			cfg.PageCacheCaps = []int{3, 3, 3, 3}
+			k.mut(&cfg)
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(ChaosWorkload(7)); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/pit"
+	"prism/internal/policy"
+	"prism/internal/sim"
+)
+
+func TestPrivatePagesAreLocal(t *testing.T) {
+	s := &script{
+		name: "private",
+		segs: map[string]uint64{},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				before := s.m.Nodes[0].Ctrl.Stats.RemoteMisses
+				pageIns := s.m.Nodes[0].Kern.Stats.PageInMsgs
+				ctx.P.WriteRange(ctx.PrivateBase(), 16<<10)
+				ctx.P.ReadRange(ctx.PrivateBase(), 16<<10)
+				if s.m.Nodes[0].Ctrl.Stats.RemoteMisses != before {
+					t.Error("private memory went remote")
+				}
+				if s.m.Nodes[0].Kern.Stats.PageInMsgs != pageIns {
+					t.Error("private faults sent page-in messages")
+				}
+				if ctx.P.Stats.PageFaults == 0 {
+					t.Error("no private page faults counted")
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestStickyLANUMAConversion(t *testing.T) {
+	// Force a Dyn-LRU conversion, then re-fault the converted page:
+	// it must come back as LA-NUMA without a policy consult.
+	cfg := testConfig()
+	cfg.Policy = policy.DynLRU{}
+	caps := []int{1, 1, 1, 1} // page cache of one frame per node
+	cfg.PageCacheCaps = caps
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(&shareWL{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conversions == 0 {
+		t.Fatal("no conversions despite a one-frame page cache")
+	}
+	if res.ImagFrames == 0 {
+		t.Fatal("no imaginary frames allocated after conversions")
+	}
+}
+
+func TestHomeUnmapProtocol(t *testing.T) {
+	var target mem.VAddr
+	var unmapDone bool
+	s := &script{
+		name: "unmap",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			// Two clients map a page homed at node 1.
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.WriteRange(target, 512)
+			}},
+			{4, func(s *script, ctx *Ctx) { ctx.P.ReadRange(target, 512) }},
+			// The home evicts the page: clients must drop + reset flags.
+			{2, func(s *script, ctx *Ctx) {
+				g, _ := s.m.GlobalPageOf(target)
+				kern := s.m.Nodes[1].Kern
+				err := kern.EvictHomePage(g, func(at sim.Time) { unmapDone = true })
+				if err != nil {
+					t.Fatalf("EvictHomePage: %v", err)
+				}
+				// Block this proc until the unmap finishes so the
+				// script's next step observes the final state.
+				ctx.P.Compute(200000)
+			}},
+			{0, func(s *script, ctx *Ctx) {
+				if !unmapDone {
+					t.Fatal("home unmap never completed")
+				}
+				g, _ := s.m.GlobalPageOf(target)
+				for _, nd := range []mem.NodeID{0, 1, 2} {
+					if _, ok := s.m.Nodes[nd].Ctrl.PIT.FrameFor(g); ok {
+						t.Errorf("node %d still maps the page", nd)
+					}
+				}
+				// Re-fault after unmap must work (fresh page-in).
+				ctx.P.Read(target)
+				if _, ok := s.m.Nodes[1].Ctrl.PIT.FrameFor(g); !ok {
+					t.Error("home did not re-map the page")
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestVictimSelectionSkipsBusy(t *testing.T) {
+	// With cap=2 and Dyn-Util, victim selection must never pick a
+	// frame with transit lines; the run completing without panic is
+	// the property (FlushPage panics on in-transit frames).
+	cfg := testConfig()
+	cfg.Policy = policy.DynUtil{}
+	cfg.PageCacheCaps = []int{2, 2, 2, 2}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(&shareWL{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	res := runShare(t, policy.SCOMA{}, nil)
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %f out of (0,1]", res.Utilization)
+	}
+	l := runShare(t, policy.LANUMA{}, nil)
+	if l.Utilization <= 0 || l.Utilization > 1 {
+		t.Fatalf("LANUMA utilization %f", l.Utilization)
+	}
+	// Paper Table 3 shape: LANUMA allocates fewer real frames.
+	if l.RealFrames >= res.RealFrames {
+		t.Errorf("LANUMA frames %d !< SCOMA %d", l.RealFrames, res.RealFrames)
+	}
+}
+
+func TestPageFaultCosts(t *testing.T) {
+	// A fresh local-home page fault must cost roughly PFKernelLocal;
+	// a remote one roughly the 4400-cycle budget.
+	var localCost, remoteCost sim.Time
+	s := &script{
+		name: "pfcost",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				va := s.pageAt("d", 0, 0) // homed at our node
+				t0 := ctx.P.Now()
+				ctx.P.Read(va)
+				localCost = ctx.P.Now() - t0
+			}},
+			{0, func(s *script, ctx *Ctx) {
+				va := s.pageAt("d", 2, 0) // remote home
+				t0 := ctx.P.Now()
+				ctx.P.Read(va)
+				remoteCost = ctx.P.Now() - t0
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+	if localCost < 2000 || localCost > 3000 {
+		t.Errorf("local-home fault cost %d, want ≈2300", localCost)
+	}
+	if remoteCost < 3800 || remoteCost > 5800 {
+		t.Errorf("remote-home fault cost %d, want ≈4400+access", remoteCost)
+	}
+}
+
+func TestImagFramesConsumeNoMemory(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = policy.LANUMA{}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(&shareWL{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Nodes {
+		inUse := n.Kern.RealFramesInUse()
+		// Real frames: private pages + home pages only.
+		if inUse == 0 {
+			t.Error("no real frames at all")
+		}
+	}
+}
+
+func TestSetPageModePins(t *testing.T) {
+	var target mem.VAddr
+	s := &script{
+		name: "pin",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				g, _ := s.m.GlobalPageOf(target)
+				// Pin to LA-NUMA at node 0 before first touch (the
+				// user-suggested mode system call of §3.3).
+				s.m.Nodes[0].Kern.SetPageMode(g, pit.ModeLANUMA)
+				ctx.P.Read(target)
+				f, _ := s.m.Nodes[0].Ctrl.PIT.FrameFor(g)
+				e := s.m.Nodes[0].Ctrl.PIT.Entry(f)
+				if e.Mode != pit.ModeLANUMA {
+					t.Errorf("pinned page mapped as %v", e.Mode)
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{}) // policy says SCOMA; pin must win
+}
+
+func TestHomeUnmapWithLANUMAClients(t *testing.T) {
+	// A home page-out must also dislodge clients holding the page via
+	// imaginary frames.
+	var target mem.VAddr
+	var unmapDone bool
+	s := &script{
+		name: "unmap-lanuma",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.WriteRange(target, 512)
+			}},
+			{4, func(s *script, ctx *Ctx) { ctx.P.ReadRange(target, 512) }},
+			{2, func(s *script, ctx *Ctx) {
+				g, _ := s.m.GlobalPageOf(target)
+				if err := s.m.Nodes[1].Kern.EvictHomePage(g, func(sim.Time) { unmapDone = true }); err != nil {
+					t.Fatalf("EvictHomePage: %v", err)
+				}
+				ctx.P.Compute(300000)
+			}},
+			{0, func(s *script, ctx *Ctx) {
+				if !unmapDone {
+					t.Fatal("unmap with LA-NUMA clients never completed")
+				}
+				g, _ := s.m.GlobalPageOf(target)
+				for nd := 0; nd < 4; nd++ {
+					if _, ok := s.m.Nodes[nd].Ctrl.PIT.FrameFor(g); ok {
+						t.Errorf("node %d still maps the page after home unmap", nd)
+					}
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.LANUMA{})
+}
+
+func TestFirewallUnderLANUMA(t *testing.T) {
+	// The firewall must also police LA-NUMA clients (their every miss
+	// crosses the network).
+	var target mem.VAddr
+	s := &script{
+		name: "fw-lanuma",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{2, func(s *script, ctx *Ctx) { // home node's proc maps it
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Write(target)
+				if err := s.m.SetPageCaps(target, []mem.NodeID{1}); err != nil {
+					t.Fatal(err)
+				}
+			}},
+			{6, func(s *script, ctx *Ctx) { // node 3: unauthorized
+				before := ctx.P.Stats.AccessFaults
+				ctx.P.Read(target)
+				if ctx.P.Stats.AccessFaults != before+1 {
+					t.Error("unauthorized LA-NUMA read did not fault")
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.LANUMA{})
+}

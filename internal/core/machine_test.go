@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/policy"
+	"prism/internal/sim"
+)
+
+// testConfig returns a small machine for fast tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Node.Procs = 2
+	cfg.Kernel.RealFrames = 4096
+	return cfg
+}
+
+// shareWL is a minimal workload: every processor writes its slice of a
+// shared array, barriers, then reads the whole array (all-to-all
+// sharing), with a private scratch region mixed in.
+type shareWL struct {
+	base  mem.VAddr
+	bytes int
+}
+
+func (w *shareWL) Name() string { return "share" }
+
+func (w *shareWL) Setup(m *Machine) error {
+	w.bytes = 64 << 10
+	b, err := m.Alloc("share.data", uint64(w.bytes))
+	w.base = b
+	return err
+}
+
+func (w *shareWL) Run(ctx *Ctx) {
+	p := ctx.P
+	chunk := w.bytes / ctx.N
+	mine := w.base + mem.VAddr(ctx.ID*chunk)
+
+	// Init own chunk before the measured phase.
+	p.WriteRange(mine, chunk)
+	ctx.BeginParallel()
+	for iter := 0; iter < 2; iter++ {
+		p.WriteRange(mine, chunk)
+		p.Barrier(1)
+		p.ReadRange(w.base, w.bytes)
+		p.Barrier(2)
+	}
+	// Private traffic.
+	p.WriteRange(ctx.PrivateBase(), 8<<10)
+	ctx.EndParallel()
+}
+
+func runShare(t *testing.T, pol policy.Policy, caps []int) Results {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Policy = pol
+	cfg.PageCacheCaps = caps
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	res, err := m.Run(&shareWL{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return res
+}
+
+func TestMachineRunsSCOMA(t *testing.T) {
+	res := runShare(t, policy.SCOMA{}, nil)
+	if res.Cycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+	if res.Refs == 0 {
+		t.Fatal("no references executed")
+	}
+	if res.RemoteMisses == 0 {
+		t.Fatal("all-to-all sharing must produce remote misses")
+	}
+	if res.ClientPageOuts != 0 {
+		t.Fatalf("SCOMA must not page out, got %d", res.ClientPageOuts)
+	}
+	if res.ImagFrames != 0 {
+		t.Fatalf("SCOMA must not allocate imaginary frames, got %d", res.ImagFrames)
+	}
+}
+
+func TestMachineRunsLANUMA(t *testing.T) {
+	res := runShare(t, policy.LANUMA{}, nil)
+	if res.ImagFrames == 0 {
+		t.Fatal("LANUMA must allocate imaginary frames")
+	}
+	if res.ClientPageOuts != 0 {
+		t.Fatalf("LANUMA must not page out, got %d", res.ClientPageOuts)
+	}
+}
+
+func TestLANUMASlowerThanSCOMA(t *testing.T) {
+	s := runShare(t, policy.SCOMA{}, nil)
+	l := runShare(t, policy.LANUMA{}, nil)
+	if l.RemoteMisses < s.RemoteMisses {
+		t.Fatalf("LANUMA remote misses %d < SCOMA %d", l.RemoteMisses, s.RemoteMisses)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runShare(t, policy.DynLRU{}, nil)
+	b := runShare(t, policy.DynLRU{}, nil)
+	if a.Cycles != b.Cycles || a.RemoteMisses != b.RemoteMisses || a.NetMessages != b.NetMessages {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSCOMA70PagesOut(t *testing.T) {
+	// First pass: measure client frames under SCOMA.
+	s := runShare(t, policy.SCOMA{}, nil)
+	caps := make([]int, 4)
+	anyPositive := false
+	for i, c := range s.MaxClientFrames {
+		caps[i] = c * 7 / 10
+		if caps[i] < 1 {
+			caps[i] = 1
+		}
+		if c > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Fatal("SCOMA run allocated no client frames")
+	}
+	res := runShare(t, policy.SCOMA70{}, caps)
+	if res.ClientPageOuts == 0 {
+		t.Fatal("SCOMA-70 with a 70% cap must page out")
+	}
+}
+
+func TestAdaptiveAllocatesBothKinds(t *testing.T) {
+	s := runShare(t, policy.SCOMA{}, nil)
+	caps := make([]int, 4)
+	for i, c := range s.MaxClientFrames {
+		caps[i] = c * 7 / 10
+		if caps[i] < 1 {
+			caps[i] = 1
+		}
+	}
+	for _, pol := range []policy.Policy{policy.DynFCFS{}, policy.DynUtil{}, policy.DynLRU{}} {
+		res := runShare(t, pol, caps)
+		if res.ImagFrames == 0 {
+			t.Errorf("%s: expected LA-NUMA frames once the cache filled", pol.Name())
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 0
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	cfg = testConfig()
+	cfg.Policy = nil
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted nil policy")
+	}
+	cfg = testConfig()
+	cfg.PageCacheCaps = []int{1, 2}
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted mis-sized PageCacheCaps")
+	}
+	cfg = testConfig()
+	cfg.Node.L1.Size = 3000
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted invalid L1 geometry")
+	}
+}
+
+func TestPhaseMeasurementBounds(t *testing.T) {
+	res := runShare(t, policy.SCOMA{}, nil)
+	if res.Cycles == 0 || res.Cycles > sim.Time(1)<<40 {
+		t.Fatalf("implausible parallel-phase cycles %d", res.Cycles)
+	}
+}

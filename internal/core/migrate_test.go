@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/policy"
+	"prism/internal/sim"
+)
+
+// migWL exercises lazy page migration: processor 0 (node 0) hammers a
+// page homed elsewhere, migrates it to its own node, and hammers it
+// again; a processor on another node then touches the page through its
+// stale PIT entry to exercise the forwarding path.
+type migWL struct {
+	base     mem.VAddr
+	pageSize int
+
+	errMigrate error
+	before     mem.NodeID
+	after      mem.NodeID
+}
+
+func (w *migWL) Name() string { return "migrate-demo" }
+
+func (w *migWL) Setup(m *Machine) error {
+	w.pageSize = m.Cfg.Geometry.PageSize
+	b, err := m.Alloc("mig.data", uint64(64*w.pageSize))
+	w.base = b
+	return err
+}
+
+// pageHomedAt picks a page of the segment whose static home is node.
+func (w *migWL) pageHomedAt(m *Machine, node mem.NodeID) mem.VAddr {
+	for i := 0; i < 64; i++ {
+		va := w.base + mem.VAddr(i*w.pageSize)
+		if h, ok := m.StaticHomeOf(va); ok && h == node {
+			return va
+		}
+	}
+	panic("no page homed at node")
+}
+
+func (w *migWL) Run(ctx *Ctx) {
+	p := ctx.P
+	target := w.pageHomedAt(ctx.m, 3) // homed at node 3
+
+	if ctx.ID == ctx.N-1 {
+		// Map the page BEFORE the migration so this node's PIT entry
+		// goes stale when the home moves.
+		p.ReadRange(target, w.pageSize/2)
+	}
+	p.Barrier(0)
+	if ctx.ID == 0 {
+		// Hammer from node 0, then migrate here.
+		p.WriteRange(target, w.pageSize)
+		w.before, _ = ctx.m.DynamicHomeOf(target)
+		w.errMigrate = ctx.MigratePage(target, 0)
+		w.after, _ = ctx.m.DynamicHomeOf(target)
+		p.WriteRange(target, w.pageSize)
+	}
+	p.Barrier(1)
+	if ctx.ID == ctx.N-1 {
+		// Fresh lines force remote fetches through the stale DynHome
+		// hint — the misdirected-request forwarding path.
+		p.ReadRange(target+mem.VAddr(w.pageSize/2), w.pageSize/2)
+	}
+	p.Barrier(2)
+	if ctx.ID == 0 {
+		// Migrate onward to node 2 (old home node 0 demotes while its
+		// own mapping stays live), then read through it.
+		if err := ctx.MigratePage(target, 2); err != nil {
+			w.errMigrate = err
+		}
+		p.ReadRange(target, w.pageSize)
+	}
+	p.Barrier(3)
+	p.ReadRange(target, w.pageSize/4)
+}
+
+func TestLazyMigration(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = policy.SCOMA{}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &migWL{}
+	res, err := m.Run(w)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if w.errMigrate != nil {
+		t.Fatalf("migrate: %v", w.errMigrate)
+	}
+	if w.before != 3 {
+		t.Errorf("page initially homed at %d, want 3", w.before)
+	}
+	if w.after != 0 {
+		t.Errorf("dynamic home after migration = %d, want 0", w.after)
+	}
+	var forwards uint64
+	for _, n := range m.Nodes {
+		forwards += n.Ctrl.Stats.Forwards
+	}
+	if forwards == 0 {
+		t.Error("no misdirected requests were forwarded; lazy migration untested")
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles measured")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Errorf("invariants after migration: %v", err)
+	}
+}
+
+func TestMigrationDeterminism(t *testing.T) {
+	run := func() Results {
+		cfg := testConfig()
+		cfg.Policy = policy.SCOMA{}
+		m, _ := NewMachine(cfg)
+		res, err := m.Run(&migWL{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.NetMessages != b.NetMessages {
+		t.Fatalf("nondeterministic migration: %d/%d vs %d/%d", a.Cycles, a.NetMessages, b.Cycles, b.NetMessages)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = policy.SCOMA{}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong kernel (not static home).
+	base, err := m.Alloc("mig.err", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := m.GlobalPageOf(base)
+	if !ok {
+		t.Fatal("no global page")
+	}
+	static := m.Reg.StaticHome(g)
+	wrong := (static + 1) % mem.NodeID(cfg.Nodes)
+	if err := m.Nodes[wrong].Kern.MigratePage(g, 0, func(t0 sim.Time) {}); err == nil {
+		t.Error("non-static-home kernel accepted MigratePage")
+	}
+	// Unmapped page.
+	if err := m.Nodes[static].Kern.MigratePage(g, wrong, func(t0 sim.Time) {}); err == nil {
+		t.Error("unmapped page accepted for migration")
+	}
+}

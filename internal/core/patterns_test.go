@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/policy"
+)
+
+// tinyWL runs one of several elementary sharing patterns; the suite
+// checks each completes without deadlock (these were the original
+// bring-up scenarios and remain cheap regression guards).
+type tinyWL struct {
+	base mem.VAddr
+	kind string
+}
+
+func (w *tinyWL) Name() string { return "tiny-" + w.kind }
+func (w *tinyWL) Setup(m *Machine) error {
+	b, err := m.Alloc("tiny.data", 64<<10)
+	w.base = b
+	return err
+}
+func (w *tinyWL) Run(ctx *Ctx) {
+	p := ctx.P
+	switch w.kind {
+	case "barrier":
+		p.Barrier(1)
+	case "write-own":
+		p.WriteRange(w.base+mem.VAddr(ctx.ID*4096), 4096)
+	case "write-barrier":
+		p.WriteRange(w.base+mem.VAddr(ctx.ID*4096), 4096)
+		p.Barrier(1)
+	case "all-to-all":
+		p.WriteRange(w.base+mem.VAddr(ctx.ID*4096), 4096)
+		p.Barrier(1)
+		p.ReadRange(w.base, ctx.N*4096)
+	case "all-to-all2":
+		for it := 0; it < 2; it++ {
+			p.WriteRange(w.base+mem.VAddr(ctx.ID*4096), 4096)
+			p.Barrier(1)
+			p.ReadRange(w.base, ctx.N*4096)
+			p.Barrier(2)
+		}
+	}
+}
+
+func TestBasicSharingPatterns(t *testing.T) {
+	for _, kind := range []string{"barrier", "write-own", "write-barrier", "all-to-all", "all-to-all2"} {
+		cfg := testConfig()
+		cfg.Policy = policy.SCOMA{}
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(&tinyWL{kind: kind}); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		} else {
+			t.Logf("%s: ok", kind)
+		}
+	}
+}

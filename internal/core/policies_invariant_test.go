@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/policy"
+)
+
+// TestInvariantsAcrossPolicies regression-tests the grant-ack
+// serialization: every policy's run must end with tags and directory
+// in agreement (this once caught a late-grant-overwrites-downgrade
+// race under SCOMA-70 paging).
+func TestInvariantsAcrossPolicies(t *testing.T) {
+	s := runShare(t, policy.SCOMA{}, nil)
+	caps := make([]int, 4)
+	for i, c := range s.MaxClientFrames {
+		caps[i] = c * 7 / 10
+		if caps[i] < 1 {
+			caps[i] = 1
+		}
+	}
+	for _, pol := range policy.All() {
+		var c []int
+		if pol.Name() != "SCOMA" && pol.Name() != "LANUMA" {
+			c = caps
+		}
+		runShare(t, pol, c) // runShare checks invariants internally
+	}
+}

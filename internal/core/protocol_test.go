@@ -1,0 +1,495 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/cache"
+	"prism/internal/mem"
+	"prism/internal/pit"
+	"prism/internal/policy"
+)
+
+// script is a workload built from steps; step i runs only on the
+// processor scriptSteps[i].proc, with a machine-wide barrier between
+// steps. It gives protocol tests precise control over interleaving.
+type script struct {
+	name  string
+	segs  map[string]uint64
+	steps []scriptStep
+	base  map[string]mem.VAddr
+	m     *Machine
+}
+
+type scriptStep struct {
+	proc int
+	fn   func(s *script, ctx *Ctx)
+}
+
+func (s *script) Name() string { return "script-" + s.name }
+
+func (s *script) Setup(m *Machine) error {
+	s.m = m
+	s.base = make(map[string]mem.VAddr)
+	for name, size := range s.segs {
+		b, err := m.Alloc(name, size)
+		if err != nil {
+			return err
+		}
+		s.base[name] = b
+	}
+	return nil
+}
+
+func (s *script) Run(ctx *Ctx) {
+	for i, st := range s.steps {
+		if ctx.ID == st.proc {
+			st.fn(s, ctx)
+		}
+		ctx.P.Barrier(100 + i%800)
+	}
+}
+
+// runScript executes the script on a 4-node × 2-proc SCOMA machine.
+func runScript(t *testing.T, s *script, pol policy.Policy) *Machine {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Policy = pol
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(s); err != nil {
+		t.Fatalf("script %s: %v", s.name, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("script %s: %v", s.name, err)
+	}
+	return m
+}
+
+// pageAt finds the i-th page of seg homed at the given node.
+func (s *script) pageAt(seg string, node mem.NodeID, skip int) mem.VAddr {
+	geom := s.m.Cfg.Geometry
+	seen := 0
+	for pg := 0; ; pg++ {
+		va := s.base[seg] + mem.VAddr(pg*geom.PageSize)
+		g, _ := s.m.GlobalPageOf(va)
+		if s.m.Reg.StaticHome(g) == node {
+			if seen == skip {
+				return va
+			}
+			seen++
+		}
+		if pg > 256 {
+			panic("no page found")
+		}
+	}
+}
+
+// lineTag returns the tag of the specific line containing va.
+func lineTag(m *Machine, node mem.NodeID, va mem.VAddr) (pit.Tag, bool) {
+	g, _ := m.GlobalPageOf(va)
+	p := m.Nodes[node].Ctrl.PIT
+	f, ok := p.FrameFor(g)
+	if !ok {
+		return 0, false
+	}
+	e := p.Entry(f)
+	if e == nil || e.Mode != pit.ModeSCOMA {
+		return 0, false
+	}
+	ln := int(va.Offset()&uint64(m.Cfg.Geometry.PageSize-1)) / m.Cfg.Geometry.LineSize
+	return e.Tags[ln], true
+}
+
+func TestSCOMATagTransitions(t *testing.T) {
+	var target mem.VAddr
+	s := &script{
+		name: "tags",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			// Proc 0 (node 0) reads a line of a page homed at node 1.
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Read(target)
+			}},
+			// Check: node 0 holds it Shared or Exclusive.
+			{0, func(s *script, ctx *Ctx) {
+				tg, ok := lineTag(s.m, 0, target)
+				if !ok || (tg != pit.TagShared && tg != pit.TagExclusive) {
+					t.Errorf("after read: tag %v ok=%v", tg, ok)
+				}
+			}},
+			// Proc 2 (node 1, the home) writes the same line: node 0
+			// must end Invalid.
+			{2, func(s *script, ctx *Ctx) {
+				ctx.P.Write(target)
+			}},
+			{0, func(s *script, ctx *Ctx) {
+				tg, ok := lineTag(s.m, 0, target)
+				if !ok || tg != pit.TagInvalid {
+					t.Errorf("after remote write: tag %v ok=%v, want I", tg, ok)
+				}
+			}},
+			// Proc 0 writes: node 0 gets Exclusive; home goes Invalid.
+			{0, func(s *script, ctx *Ctx) {
+				ctx.P.Write(target)
+			}},
+			{0, func(s *script, ctx *Ctx) {
+				tg, _ := lineTag(s.m, 0, target)
+				if tg != pit.TagExclusive {
+					t.Errorf("after own write: tag %v, want E", tg)
+				}
+				htg, _ := lineTag(s.m, 1, target)
+				if htg != pit.TagInvalid {
+					t.Errorf("home tag %v, want I", htg)
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestThreePartyForwarding(t *testing.T) {
+	var target mem.VAddr
+	s := &script{
+		name: "3party",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			// Node 2's proc writes a line homed at node 1.
+			{4, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Write(target)
+			}},
+			// Node 0's proc reads it: must be recalled from node 2.
+			{0, func(s *script, ctx *Ctx) {
+				ctx.P.Read(target)
+			}},
+			{0, func(s *script, ctx *Ctx) {
+				g, _ := s.m.GlobalPageOf(target)
+				ln := int(target.Offset()&4095) / 64
+				e, ok := s.m.Nodes[1].Ctrl.Dir.Peek(g, ln)
+				if !ok {
+					t.Fatal("no directory entry")
+				}
+				if e.Excl {
+					t.Errorf("line still exclusive after read: %v", e)
+				}
+				if !e.IsSharer(0) || !e.IsSharer(2) {
+					t.Errorf("sharers wrong: %v", e)
+				}
+				if s.m.Nodes[2].Ctrl.Stats.RecallsReceived == 0 {
+					t.Error("no recall reached the owner")
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestInvalidationFanout(t *testing.T) {
+	var target mem.VAddr
+	s := &script{
+		name: "invfan",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Read(target)
+			}},
+			{4, func(s *script, ctx *Ctx) { ctx.P.Read(target) }},
+			{6, func(s *script, ctx *Ctx) { ctx.P.Read(target) }},
+			// Node 0 writes: nodes 2 and 3 (and the home) must drop it.
+			{0, func(s *script, ctx *Ctx) { ctx.P.Write(target) }},
+			{0, func(s *script, ctx *Ctx) {
+				for _, nd := range []mem.NodeID{2, 3} {
+					if tg, ok := lineTag(s.m, nd, target); ok && tg != pit.TagInvalid {
+						t.Errorf("node %d tag %v, want I", nd, tg)
+					}
+				}
+				tg, _ := lineTag(s.m, 0, target)
+				if tg != pit.TagExclusive {
+					t.Errorf("writer tag %v, want E", tg)
+				}
+				if s.m.Nodes[1].Ctrl.Stats.InvsSent < 2 {
+					t.Errorf("invalidations sent %d, want >=2", s.m.Nodes[1].Ctrl.Stats.InvsSent)
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestLANUMAWriteback(t *testing.T) {
+	// Under LANUMA, dirty L2 evictions travel to the home.
+	cfg := testConfig()
+	cfg.Policy = policy.LANUMA{}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &shareWL{}
+	if _, err := m.Run(wl); err != nil {
+		t.Fatal(err)
+	}
+	var wbs uint64
+	for _, n := range m.Nodes {
+		wbs += n.Ctrl.Stats.WritebacksSent
+	}
+	if wbs == 0 {
+		t.Error("no LA-NUMA writebacks despite cache pressure")
+	}
+}
+
+func TestUpgradeMovesNoData(t *testing.T) {
+	var target mem.VAddr
+	s := &script{
+		name: "upgrade",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Read(target) // Shared copy at node 0
+			}},
+			{2, func(s *script, ctx *Ctx) { ctx.P.Read(target) }}, // home's proc shares it too
+			{0, func(s *script, ctx *Ctx) {
+				before := s.m.Nodes[0].Ctrl.Stats.Upgrades
+				ctx.P.Write(target)
+				after := s.m.Nodes[0].Ctrl.Stats.Upgrades
+				if after != before+1 {
+					t.Errorf("upgrades %d -> %d, want +1", before, after)
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestReverseTranslationGuessMostlyHits(t *testing.T) {
+	res := runShare(t, policy.SCOMA{}, nil)
+	if res.PITGuessHits == 0 {
+		t.Fatal("no guessed-frame reverse translations")
+	}
+	frac := float64(res.PITGuessHits) / float64(res.PITGuessHits+res.PITHashLookups)
+	if frac < 0.5 {
+		t.Errorf("guess hit rate %.2f; home-frame hints are not working", frac)
+	}
+}
+
+func TestDirectoryCacheCounters(t *testing.T) {
+	res := runShare(t, policy.SCOMA{}, nil)
+	if res.DirCacheHits+res.DirCacheMisses == 0 {
+		t.Fatal("directory cache never accessed")
+	}
+}
+
+func TestFirewallFaultPath(t *testing.T) {
+	var target mem.VAddr
+	s := &script{
+		name: "fw",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Write(target)
+				if err := s.m.SetPageCaps(target, []mem.NodeID{0}); err != nil {
+					t.Fatal(err)
+				}
+			}},
+			// Node 3's proc attempts a wild write.
+			{6, func(s *script, ctx *Ctx) {
+				before := ctx.P.Stats.AccessFaults
+				ctx.P.Write(target + 64)
+				if ctx.P.Stats.AccessFaults != before+1 {
+					t.Errorf("wild write did not fault")
+				}
+			}},
+			// Authorized node still works.
+			{0, func(s *script, ctx *Ctx) {
+				before := ctx.P.Stats.AccessFaults
+				ctx.P.Write(target + 128)
+				if ctx.P.Stats.AccessFaults != before {
+					t.Errorf("authorized access faulted")
+				}
+			}},
+		},
+	}
+	m := runScript(t, s, policy.SCOMA{})
+	if m.Nodes[1].Ctrl.PIT.Stats.FirewallDrops == 0 {
+		t.Error("home recorded no firewall drops")
+	}
+}
+
+func TestHomeFlagSkipsPageIn(t *testing.T) {
+	// A page-out followed by a re-fault should use the flag (no second
+	// page-in message) under SCOMA-70.
+	s := runShare(t, policy.SCOMA{}, nil)
+	caps := make([]int, 4)
+	for i, c := range s.MaxClientFrames {
+		caps[i] = c * 7 / 10
+		if caps[i] < 1 {
+			caps[i] = 1
+		}
+	}
+	res := runShare(t, policy.SCOMA70{}, caps)
+	if res.ClientPageOuts == 0 {
+		t.Skip("no page-outs at this scale")
+	}
+	if res.FlagHits == 0 {
+		t.Error("home-page-status flags never hit despite refaults")
+	}
+}
+
+func TestLocalSharingStaysOnNode(t *testing.T) {
+	// Two procs on the SAME node sharing a line: the second access
+	// must not go remote (cache-to-cache or local tags).
+	var target mem.VAddr
+	s := &script{
+		name: "local",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Read(target)
+			}},
+			{1, func(s *script, ctx *Ctx) { // proc 1 = node 0 too
+				before := s.m.Nodes[0].Ctrl.Stats.RemoteMisses
+				ctx.P.Read(target)
+				if s.m.Nodes[0].Ctrl.Stats.RemoteMisses != before {
+					t.Error("same-node read went remote")
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestL2StatesAfterFill(t *testing.T) {
+	var target mem.VAddr
+	s := &script{
+		name: "l2state",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Write(target)
+			}},
+			{0, func(s *script, ctx *Ctx) {
+				g := s.m.Cfg.Geometry
+				gp, _ := s.m.GlobalPageOf(target)
+				f, _ := s.m.Nodes[0].Ctrl.PIT.FrameFor(gp)
+				pa := mem.NewPAddr(g, f, int(target.Offset()&4095)).LineAddr(g)
+				if st := ctx.P.L1().Probe(pa); st != cache.Modified {
+					t.Errorf("L1 state %v after write, want M", st)
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestIntraNodeInterventionLANUMA(t *testing.T) {
+	// Dirty cache-to-cache within a node must satisfy locally even for
+	// LA-NUMA frames (the bus protocol prevails).
+	var target mem.VAddr
+	s := &script{
+		name: "interv",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Write(target) // node 0 owns it M
+			}},
+			{1, func(s *script, ctx *Ctx) { // proc 1 is also node 0
+				before := s.m.Nodes[0].Ctrl.Stats.RemoteMisses
+				ctx.P.Read(target)
+				if got := s.m.Nodes[0].Ctrl.Stats.RemoteMisses; got != before {
+					t.Errorf("same-node read of dirty LA-NUMA line went remote (%d -> %d)", before, got)
+				}
+			}},
+			{1, func(s *script, ctx *Ctx) {
+				// Write after intra-node sharing: both procs hold S, so
+				// node-level exclusivity is unknown under LA-NUMA and
+				// the write must consult the home.
+				before := s.m.Nodes[0].Ctrl.Stats.RemoteMisses + s.m.Nodes[0].Ctrl.Stats.Upgrades
+				ctx.P.Write(target)
+				after := s.m.Nodes[0].Ctrl.Stats.RemoteMisses + s.m.Nodes[0].Ctrl.Stats.Upgrades
+				if after == before {
+					t.Error("write to S-state LA-NUMA line skipped the home")
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.LANUMA{})
+}
+
+func TestSCOMATagExclusiveKeepsWritesLocal(t *testing.T) {
+	// Under S-COMA, a node-exclusive tag lets any local processor
+	// write without a protocol transaction — the key S-COMA win.
+	var target mem.VAddr
+	s := &script{
+		name: "tag-e-local",
+		segs: map[string]uint64{"d": 64 << 12},
+		steps: []scriptStep{
+			{0, func(s *script, ctx *Ctx) {
+				target = s.pageAt("d", 1, 0)
+				ctx.P.Write(target) // node 0: tag E
+			}},
+			{1, func(s *script, ctx *Ctx) { // same node, other proc
+				before := s.m.Nodes[0].Ctrl.Stats.RemoteMisses + s.m.Nodes[0].Ctrl.Stats.Upgrades
+				ctx.P.Write(target)
+				after := s.m.Nodes[0].Ctrl.Stats.RemoteMisses + s.m.Nodes[0].Ctrl.Stats.Upgrades
+				if after != before {
+					t.Error("write under tag E went remote")
+				}
+			}},
+		},
+	}
+	runScript(t, s, policy.SCOMA{})
+}
+
+func TestSCOMAPageCacheAbsorbsCapacityMisses(t *testing.T) {
+	// The S-COMA page cache acts as a third-level cache: refetching a
+	// region that was evicted from L1/L2 must be local under SCOMA but
+	// remote under LANUMA — the core capacity trade-off of §4.3.
+	region := 24 << 10 // 3x the shrunken L2 below
+	run := func(pol policy.Policy) uint64 {
+		var remoteSecondPass uint64
+		s := &script{
+			name: "capacity-" + pol.Name(),
+			segs: map[string]uint64{"d": 64 << 12},
+			steps: []scriptStep{
+				{0, func(s *script, ctx *Ctx) {
+					base := s.pageAt("d", 1, 0)
+					ctx.P.ReadRange(base, region) // cold pass
+					before := s.m.Nodes[0].Ctrl.Stats.RemoteMisses
+					ctx.P.ReadRange(base, region) // capacity pass
+					remoteSecondPass = s.m.Nodes[0].Ctrl.Stats.RemoteMisses - before
+				}},
+			},
+		}
+		cfg := testConfig()
+		cfg.Node.L1.Size = 2 << 10
+		cfg.Node.L2.Size = 8 << 10
+		cfg.Policy = pol
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(s); err != nil {
+			t.Fatalf("capacity script: %v", err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return remoteSecondPass
+	}
+	scoma := run(policy.SCOMA{})
+	lanuma := run(policy.LANUMA{})
+	if scoma != 0 {
+		t.Errorf("SCOMA second pass had %d remote misses, want 0 (page cache)", scoma)
+	}
+	if lanuma == 0 {
+		t.Error("LANUMA second pass had no remote misses despite capacity eviction")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"prism/internal/sim"
+)
+
+// Results aggregates one run's measurements. Cycle counts cover the
+// measured parallel phase; frame accounting covers the whole run
+// (matching how the paper reports Table 3 versus Tables 4/5).
+type Results struct {
+	Workload string
+	Policy   string
+
+	// Cycles is the parallel-phase execution time.
+	Cycles sim.Time
+
+	// Table 4/5 statistics.
+	RemoteMisses   uint64
+	ClientPageOuts uint64
+
+	// Table 3 statistics.
+	RealFrames  uint64 // real page frames allocated (private + home + client S-COMA)
+	ImagFrames  uint64 // imaginary (LA-NUMA) frames allocated
+	Utilization float64
+
+	// Supporting detail.
+	Upgrades       uint64
+	WritebacksSent uint64
+	InvsSent       uint64
+	Forwards       uint64
+	PageInMsgs     uint64
+	FlagHits       uint64
+	Conversions    uint64
+	ReverseConvs   uint64
+	TLBMisses      uint64
+	PageFaults     uint64
+	Refs           uint64
+	L1Misses       uint64
+	L2Misses       uint64
+	NetMessages    uint64
+	NetBytes       uint64
+	PITGuessHits   uint64
+	PITHashLookups uint64
+	DirCacheHits   uint64
+	DirCacheMisses uint64
+
+	// MaxClientFrames is each node's high-water client S-COMA frame
+	// count — the input to SCOMA-70's page-cache sizing.
+	MaxClientFrames []int
+}
+
+// collect gathers results after a run.
+func (m *Machine) collect(w Workload) Results {
+	r := Results{
+		Workload: w.Name(),
+		Policy:   m.Cfg.Policy.Name(),
+		Cycles:   m.phaseEnd - m.phaseStart,
+	}
+	for _, p := range m.Procs {
+		r.Refs += p.Stats.Refs()
+		r.L1Misses += p.Stats.L1Misses
+		r.L2Misses += p.Stats.L2Misses
+		r.TLBMisses += p.Stats.TLBMisses
+		r.PageFaults += p.Stats.PageFaults
+	}
+	var utilSum float64
+	var utilN int
+	for _, n := range m.Nodes {
+		cs := &n.Ctrl.Stats
+		r.RemoteMisses += cs.RemoteMisses
+		r.Upgrades += cs.Upgrades
+		r.WritebacksSent += cs.WritebacksSent
+		r.InvsSent += cs.InvsSent
+		r.Forwards += cs.Forwards
+		r.PITGuessHits += n.Ctrl.PIT.Stats.ReverseGuess
+		r.PITHashLookups += n.Ctrl.PIT.Stats.ReverseHash
+		r.DirCacheHits += n.Ctrl.Dir.Stats.CacheHits
+		r.DirCacheMisses += n.Ctrl.Dir.Stats.CacheMisses
+
+		ks := &n.Kern.Stats
+		r.ClientPageOuts += ks.ClientPageOuts
+		r.PageInMsgs += ks.PageInMsgs
+		r.FlagHits += ks.FlagHits
+		r.Conversions += ks.Conversions
+		r.ReverseConvs += ks.ReverseConversions
+		r.RealFrames += ks.RealAllocated
+		r.ImagFrames += ks.ImagAllocated
+		utilSum += n.Kern.Utilization()
+		utilN++
+		r.MaxClientFrames = append(r.MaxClientFrames, n.Kern.MaxClientSCOMA())
+	}
+	if utilN > 0 {
+		r.Utilization = utilSum / float64(utilN)
+	}
+	r.NetMessages = m.Net.Stats.Messages
+	r.NetBytes = m.Net.Stats.Bytes
+	return r
+}
+
+// String renders the stat block printed by cmd/prismsim.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s policy=%s\n", r.Workload, r.Policy)
+	fmt.Fprintf(&b, "  cycles            %12d\n", r.Cycles)
+	fmt.Fprintf(&b, "  refs              %12d (L1 miss %d, L2 miss %d)\n", r.Refs, r.L1Misses, r.L2Misses)
+	fmt.Fprintf(&b, "  remote misses     %12d\n", r.RemoteMisses)
+	fmt.Fprintf(&b, "  upgrades          %12d\n", r.Upgrades)
+	fmt.Fprintf(&b, "  client page-outs  %12d\n", r.ClientPageOuts)
+	fmt.Fprintf(&b, "  frames real/imag  %12d / %d\n", r.RealFrames, r.ImagFrames)
+	fmt.Fprintf(&b, "  utilization       %12.3f\n", r.Utilization)
+	fmt.Fprintf(&b, "  page faults       %12d (page-in msgs %d, flag hits %d)\n", r.PageFaults, r.PageInMsgs, r.FlagHits)
+	fmt.Fprintf(&b, "  conversions       %12d\n", r.Conversions)
+	fmt.Fprintf(&b, "  net msgs/bytes    %12d / %d\n", r.NetMessages, r.NetBytes)
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/policy"
+)
+
+// lockWL has every processor increment a shared (host-side) counter
+// under a lock many times: mutual exclusion means no lost updates, and
+// the lock line's coherence traffic is real.
+type lockWL struct {
+	counter int
+	rounds  int
+	base    mem.VAddr
+}
+
+func (w *lockWL) Name() string { return "locks" }
+
+func (w *lockWL) Setup(m *Machine) error {
+	w.rounds = 50
+	b, err := m.Alloc("lock.data", 4096)
+	w.base = b
+	return err
+}
+
+func (w *lockWL) Run(ctx *Ctx) {
+	p := ctx.P
+	ctx.BeginParallel()
+	for i := 0; i < w.rounds; i++ {
+		p.Lock(3)
+		w.counter++
+		p.Write(w.base) // the protected datum
+		p.Unlock(3)
+	}
+	ctx.EndParallel()
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = policy.SCOMA{}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &lockWL{}
+	if _, err := m.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	want := w.rounds * len(m.Procs)
+	if w.counter != want {
+		t.Fatalf("counter %d, want %d (lost updates)", w.counter, want)
+	}
+}
+
+// barrierWL validates barrier semantics: a phase counter bumped by
+// processor 0 must be visible to everyone after the barrier, for many
+// reuses of the same barrier id.
+type barrierWL struct {
+	phase  int
+	rounds int
+	fail   bool
+}
+
+func (w *barrierWL) Name() string { return "barriers" }
+func (w *barrierWL) Setup(m *Machine) error {
+	w.rounds = 30
+	return nil
+}
+
+func (w *barrierWL) Run(ctx *Ctx) {
+	for i := 1; i <= w.rounds; i++ {
+		if ctx.ID == 0 {
+			w.phase = i
+		}
+		ctx.P.Barrier(5)
+		if w.phase != i {
+			w.fail = true
+		}
+		ctx.P.Barrier(6)
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = policy.SCOMA{}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &barrierWL{}
+	if _, err := m.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if w.fail {
+		t.Fatal("a processor crossed the barrier before phase advance")
+	}
+}
+
+// funcWL wraps a bare function as a workload.
+type funcWL struct {
+	name string
+	run  func(*Ctx)
+}
+
+func (w *funcWL) Name() string           { return w.name }
+func (w *funcWL) Setup(m *Machine) error { return nil }
+func (w *funcWL) Run(ctx *Ctx)           { w.run(ctx) }
+
+func TestComputeAdvancesClock(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 1
+	cfg.Node.Procs = 1
+	cfg.Policy = policy.SCOMA{}
+	m, _ := NewMachine(cfg)
+	var before, after uint64
+	m.Run(&funcWL{name: "compute", run: func(ctx *Ctx) {
+		before = uint64(ctx.P.Now())
+		ctx.P.Compute(12345)
+		after = uint64(ctx.P.Now())
+	}})
+	if after-before != 12345 {
+		t.Fatalf("compute advanced %d, want 12345", after-before)
+	}
+}

@@ -1,0 +1,270 @@
+// Package directory implements the full-map cache-line directory kept
+// at each page's (dynamic) home node, together with the timing model
+// of the paper's configuration: directory state lives in DRAM fronted
+// by an 8K-entry directory cache with a 2-cycle hit and 22-cycle miss.
+package directory
+
+import (
+	"fmt"
+
+	"prism/internal/mem"
+	"prism/internal/sim"
+)
+
+// Line is the directory state for one cache line of a global page.
+// Exactly one of the two regimes holds:
+//
+//   - Excl: Owner holds the only (possibly dirty) copy, at node
+//     granularity. Owner may be the home node itself (then the home's
+//     processor caches may hold it modified).
+//   - Shared: home memory is current; Sharers is the bitmask of nodes
+//     (possibly including the home) with read copies. An empty mask
+//     means the line is uncached anywhere and current at home.
+type Line struct {
+	Excl    bool
+	Owner   mem.NodeID
+	Sharers uint64
+}
+
+// AddSharer sets node's bit.
+func (l *Line) AddSharer(n mem.NodeID) { l.Sharers |= 1 << uint(n) }
+
+// DropSharer clears node's bit.
+func (l *Line) DropSharer(n mem.NodeID) { l.Sharers &^= 1 << uint(n) }
+
+// IsSharer reports whether node's bit is set.
+func (l *Line) IsSharer(n mem.NodeID) bool { return l.Sharers&(1<<uint(n)) != 0 }
+
+// SharerList returns the sharers in ascending node order, excluding
+// the given node.
+func (l *Line) SharerList(except mem.NodeID, nodes int) []mem.NodeID {
+	var out []mem.NodeID
+	for n := 0; n < nodes; n++ {
+		id := mem.NodeID(n)
+		if id != except && l.IsSharer(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SharerCount returns the number of sharer bits set.
+func (l *Line) SharerCount() int {
+	n := 0
+	for m := l.Sharers; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+func (l Line) String() string {
+	if l.Excl {
+		return fmt.Sprintf("E@%d", l.Owner)
+	}
+	return fmt.Sprintf("S{%b}", l.Sharers)
+}
+
+// Config parameterizes the directory timing model.
+type Config struct {
+	CacheEntries int      // directory cache size (8192)
+	CacheWays    int      // associativity of the directory cache
+	HitTime      sim.Time // directory cache hit (2)
+	MissTime     sim.Time // directory cache miss → DRAM (22)
+}
+
+// DefaultConfig matches the paper.
+var DefaultConfig = Config{CacheEntries: 8192, CacheWays: 4, HitTime: 2, MissTime: 22}
+
+// Stats counts directory activity.
+type Stats struct {
+	Accesses    uint64
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// key identifies one line's directory entry.
+type key struct {
+	page mem.GPage
+	line int
+}
+
+// Directory is one node's slice of the global directory: entries for
+// every page whose dynamic home is this node.
+type Directory struct {
+	node  mem.NodeID
+	geom  mem.Geometry
+	cfg   Config
+	pages map[mem.GPage][]Line
+	tc    *tagCache
+
+	Stats Stats
+}
+
+// New builds an empty directory for node.
+func New(node mem.NodeID, geom mem.Geometry, cfg Config) *Directory {
+	if cfg.CacheEntries <= 0 || cfg.CacheWays <= 0 {
+		panic(fmt.Sprintf("directory: bad cache config %+v", cfg))
+	}
+	return &Directory{
+		node:  node,
+		geom:  geom,
+		cfg:   cfg,
+		pages: make(map[mem.GPage][]Line),
+		tc:    newTagCache(cfg.CacheEntries, cfg.CacheWays),
+	}
+}
+
+// AddPage allocates directory entries for every line of page g, all
+// initially exclusive at owner (the home itself at page-in, per §3.3:
+// fine-grain tags at the home initialize to Exclusive). It panics if
+// the page already has entries.
+func (d *Directory) AddPage(g mem.GPage, owner mem.NodeID) []Line {
+	if _, ok := d.pages[g]; ok {
+		panic(fmt.Sprintf("directory: node %d already holds %v", d.node, g))
+	}
+	lines := make([]Line, d.geom.LinesPerPage())
+	for i := range lines {
+		lines[i] = Line{Excl: true, Owner: owner}
+	}
+	d.pages[g] = lines
+	return lines
+}
+
+// AdoptPage installs pre-existing entries for page g (used by lazy
+// migration when the directory moves between nodes).
+func (d *Directory) AdoptPage(g mem.GPage, lines []Line) {
+	if _, ok := d.pages[g]; ok {
+		panic(fmt.Sprintf("directory: node %d already holds %v", d.node, g))
+	}
+	d.pages[g] = lines
+}
+
+// RemovePage deletes page g's entries, returning them (nil if absent).
+func (d *Directory) RemovePage(g mem.GPage) []Line {
+	l := d.pages[g]
+	delete(d.pages, g)
+	return l
+}
+
+// HasPage reports whether this directory holds entries for g.
+func (d *Directory) HasPage(g mem.GPage) bool {
+	_, ok := d.pages[g]
+	return ok
+}
+
+// Pages returns the number of pages with directory state here.
+func (d *Directory) Pages() int { return len(d.pages) }
+
+// Access returns the directory entry for line ln of page g along with
+// the modeled access cost (directory cache hit or miss). The entry is
+// mutable in place. ok is false if the page has no directory here
+// (a misdirected request after migration).
+func (d *Directory) Access(g mem.GPage, ln int) (e *Line, cost sim.Time, ok bool) {
+	d.Stats.Accesses++
+	hit := d.tc.access(key{g, ln})
+	if hit {
+		d.Stats.CacheHits++
+		cost = d.cfg.HitTime
+	} else {
+		d.Stats.CacheMisses++
+		cost = d.cfg.MissTime
+	}
+	lines, present := d.pages[g]
+	if !present {
+		return nil, cost, false
+	}
+	return &lines[ln], cost, true
+}
+
+// Peek returns the entry without touching the timing model (tests and
+// statistics).
+func (d *Directory) Peek(g mem.GPage, ln int) (*Line, bool) {
+	lines, ok := d.pages[g]
+	if !ok {
+		return nil, false
+	}
+	return &lines[ln], true
+}
+
+// DropNode removes node n from every line of page g (page-out of a
+// client): clears its sharer bit, and if n was the exclusive owner the
+// line reverts to shared-at-home (the client flushes dirty data as
+// part of the page-out protocol before this is called).
+func (d *Directory) DropNode(g mem.GPage, n mem.NodeID) {
+	lines, ok := d.pages[g]
+	if !ok {
+		return
+	}
+	for i := range lines {
+		l := &lines[i]
+		if l.Excl && l.Owner == n {
+			*l = Line{}
+		} else {
+			l.DropSharer(n)
+		}
+	}
+}
+
+// tagCache models the 8K-entry directory cache: a set-associative tag
+// store used purely for hit/miss timing.
+type tagCache struct {
+	sets  int
+	ways  int
+	tags  []key
+	valid []bool
+	lru   []uint64
+	clock uint64
+}
+
+func newTagCache(entries, ways int) *tagCache {
+	sets := entries / ways
+	if sets <= 0 {
+		sets = 1
+	}
+	// Round sets down to a power of two for masking.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	n := sets * ways
+	return &tagCache{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]key, n),
+		valid: make([]bool, n),
+		lru:   make([]uint64, n),
+	}
+}
+
+func (t *tagCache) access(k key) bool {
+	t.clock++
+	h := hashKey(k)
+	set := int(h) & (t.sets - 1)
+	base := set * t.ways
+	victim := base
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.tags[i] == k {
+			t.lru[i] = t.clock
+			return true
+		}
+		if !t.valid[i] {
+			victim = i
+		} else if t.valid[victim] && t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.tags[victim] = k
+	t.valid[victim] = true
+	t.lru[victim] = t.clock
+	return false
+}
+
+func hashKey(k key) uint64 {
+	h := uint64(k.page.Seg)<<40 ^ uint64(k.page.Page)<<8 ^ uint64(k.line)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,179 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/mem"
+)
+
+func mkDir(t *testing.T) *Directory {
+	t.Helper()
+	return New(0, mem.DefaultGeometry, DefaultConfig)
+}
+
+func TestAddRemovePage(t *testing.T) {
+	d := mkDir(t)
+	g := mem.GPage{Seg: 1, Page: 2}
+	lines := d.AddPage(g, 3)
+	if len(lines) != 64 {
+		t.Fatalf("lines %d, want 64", len(lines))
+	}
+	for i := range lines {
+		if !lines[i].Excl || lines[i].Owner != 3 {
+			t.Fatalf("line %d not exclusive at owner: %+v", i, lines[i])
+		}
+	}
+	if !d.HasPage(g) || d.Pages() != 1 {
+		t.Fatal("page not registered")
+	}
+	got := d.RemovePage(g)
+	if got == nil || d.HasPage(g) {
+		t.Fatal("remove failed")
+	}
+	if d.RemovePage(g) != nil {
+		t.Fatal("double remove returned lines")
+	}
+}
+
+func TestAddPageTwicePanics(t *testing.T) {
+	d := mkDir(t)
+	g := mem.GPage{Seg: 1, Page: 2}
+	d.AddPage(g, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddPage did not panic")
+		}
+	}()
+	d.AddPage(g, 0)
+}
+
+func TestAdoptPage(t *testing.T) {
+	d := mkDir(t)
+	g := mem.GPage{Seg: 1, Page: 9}
+	lines := make([]Line, 64)
+	lines[5].AddSharer(2)
+	d.AdoptPage(g, lines)
+	e, ok := d.Peek(g, 5)
+	if !ok || !e.IsSharer(2) {
+		t.Fatal("adopted state lost")
+	}
+}
+
+func TestAccessTimingHitMiss(t *testing.T) {
+	d := New(0, mem.DefaultGeometry, Config{CacheEntries: 64, CacheWays: 2, HitTime: 2, MissTime: 22})
+	g := mem.GPage{Seg: 1, Page: 0}
+	d.AddPage(g, 0)
+	_, c1, ok := d.Access(g, 0)
+	if !ok || c1 != 22 {
+		t.Fatalf("cold access cost %d, want 22", c1)
+	}
+	_, c2, _ := d.Access(g, 0)
+	if c2 != 2 {
+		t.Fatalf("warm access cost %d, want 2", c2)
+	}
+	if d.Stats.CacheHits != 1 || d.Stats.CacheMisses != 1 || d.Stats.Accesses != 2 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+}
+
+func TestAccessMissingPage(t *testing.T) {
+	d := mkDir(t)
+	e, _, ok := d.Access(mem.GPage{Seg: 9, Page: 9}, 0)
+	if ok || e != nil {
+		t.Fatal("access to absent page returned entry")
+	}
+}
+
+func TestAccessMutatesInPlace(t *testing.T) {
+	d := mkDir(t)
+	g := mem.GPage{Seg: 1, Page: 1}
+	d.AddPage(g, 0)
+	e, _, _ := d.Access(g, 7)
+	e.Excl = false
+	e.Sharers = 0
+	e.AddSharer(4)
+	e2, _ := d.Peek(g, 7)
+	if e2.Excl || !e2.IsSharer(4) {
+		t.Fatal("mutation not visible")
+	}
+}
+
+func TestDropNode(t *testing.T) {
+	d := mkDir(t)
+	g := mem.GPage{Seg: 1, Page: 1}
+	d.AddPage(g, 0)
+	e, _ := d.Peek(g, 0)
+	e.Excl = false
+	e.Owner = 0
+	e.Sharers = 0
+	e.AddSharer(2)
+	e.AddSharer(3)
+	e2, _ := d.Peek(g, 1)
+	*e2 = Line{Excl: true, Owner: 2}
+
+	d.DropNode(g, 2)
+	if e.IsSharer(2) || !e.IsSharer(3) {
+		t.Fatalf("sharer drop wrong: %+v", e)
+	}
+	if e2.Excl {
+		t.Fatalf("owned line not reverted: %+v", e2)
+	}
+	// Dropping from an absent page is a no-op.
+	d.DropNode(mem.GPage{Seg: 9}, 2)
+}
+
+func TestSharerHelpers(t *testing.T) {
+	var l Line
+	l.AddSharer(1)
+	l.AddSharer(5)
+	l.AddSharer(1)
+	if l.SharerCount() != 2 {
+		t.Fatalf("count %d", l.SharerCount())
+	}
+	list := l.SharerList(1, 8)
+	if len(list) != 1 || list[0] != 5 {
+		t.Fatalf("list %v", list)
+	}
+	l.DropSharer(5)
+	if l.IsSharer(5) || !l.IsSharer(1) {
+		t.Fatal("drop wrong bit")
+	}
+	if l.String() == "" || (Line{Excl: true, Owner: 2}).String() == "" {
+		t.Fatal("empty strings")
+	}
+}
+
+func TestSharerBitmaskProperty(t *testing.T) {
+	f := func(bits uint8) bool {
+		var l Line
+		want := 0
+		for n := 0; n < 8; n++ {
+			if bits&(1<<uint(n)) != 0 {
+				l.AddSharer(mem.NodeID(n))
+				want++
+			}
+		}
+		if l.SharerCount() != want {
+			return false
+		}
+		for n := 0; n < 8; n++ {
+			if l.IsSharer(mem.NodeID(n)) != (bits&(1<<uint(n)) != 0) {
+				return false
+			}
+		}
+		return len(l.SharerList(mem.NodeID(9), 8)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	New(0, mem.DefaultGeometry, Config{CacheEntries: 0, CacheWays: 0})
+}

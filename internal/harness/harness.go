@@ -1,0 +1,333 @@
+// Package harness drives the paper's experiments end to end: the
+// two-pass SCOMA→SCOMA-70 page-cache sizing, the six-policy runs
+// behind Figure 7 and Tables 3–5, the Table 1 microbenchmark, the §4.3
+// PIT-access-time study, and the design-choice ablations.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"prism"
+	"prism/internal/core"
+	"prism/internal/latency"
+	"prism/internal/sim"
+	"prism/workloads"
+)
+
+// PolicyOrder is the paper's Figure 7 legend order.
+var PolicyOrder = []string{"SCOMA", "LANUMA", "SCOMA-70", "Dyn-FCFS", "Dyn-Util", "Dyn-LRU"}
+
+// Options configures an experiment sweep.
+type Options struct {
+	Size     workloads.Size
+	Apps     []string // nil = all eight
+	Policies []string // nil = all six
+	// PITAccess overrides the PIT access time (the §4.3 study); 0
+	// keeps the default (2 cycles, SRAM).
+	PITAccess sim.Time
+	// CapFraction is the page-cache fraction of the SCOMA maximum
+	// used by capped policies (the paper's 0.70).
+	CapFraction float64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o *Options) defaults() {
+	if o.Apps == nil {
+		o.Apps = workloads.Names()
+	}
+	if o.Policies == nil {
+		o.Policies = append([]string(nil), PolicyOrder...)
+	}
+	if o.CapFraction == 0 {
+		o.CapFraction = 0.70
+	}
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// AppRun holds one application's results across policies.
+type AppRun struct {
+	App   string
+	ByPol map[string]prism.Results
+	Caps  []int // per-node page-cache caps used by capped policies
+}
+
+// config builds the machine configuration for one run.
+func (o *Options) config(polName string, caps []int) (prism.Config, error) {
+	cfg := workloads.ConfigForSize(o.Size)
+	pol, err := prism.PolicyByName(polName)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Policy = pol
+	if polName != "SCOMA" && polName != "LANUMA" {
+		cfg.PageCacheCaps = caps
+	}
+	if o.PITAccess != 0 {
+		cfg.Node.PITConfig.AccessTime = o.PITAccess
+	}
+	return cfg, nil
+}
+
+// runOne executes one app × policy.
+func (o *Options) runOne(app, polName string, caps []int) (prism.Results, error) {
+	cfg, err := o.config(polName, caps)
+	if err != nil {
+		return prism.Results{}, err
+	}
+	m, err := prism.New(cfg)
+	if err != nil {
+		return prism.Results{}, err
+	}
+	w, err := workloads.ByName(app, o.Size)
+	if err != nil {
+		return prism.Results{}, err
+	}
+	res, err := m.Run(w)
+	if err != nil {
+		return prism.Results{}, fmt.Errorf("%s/%s: %w", app, polName, err)
+	}
+	o.logf("  %-10s %-9s cycles=%-12d remote=%-9d pageouts=%-6d frames=%d+%d",
+		app, polName, res.Cycles, res.RemoteMisses, res.ClientPageOuts, res.RealFrames, res.ImagFrames)
+	return res, nil
+}
+
+// Run executes the full sweep: for each app, a SCOMA pass sizes the
+// page cache (CapFraction × per-node max client frames), then every
+// requested policy runs. The SCOMA pass is reused as the SCOMA result
+// when requested.
+func Run(opts Options) ([]AppRun, error) {
+	opts.defaults()
+	var out []AppRun
+	for _, app := range opts.Apps {
+		opts.logf("%s:", app)
+		ar := AppRun{App: app, ByPol: make(map[string]prism.Results)}
+
+		scoma, err := opts.runOne(app, "SCOMA", nil)
+		if err != nil {
+			return nil, err
+		}
+		ar.ByPol["SCOMA"] = scoma
+		ar.Caps = make([]int, len(scoma.MaxClientFrames))
+		for i, c := range scoma.MaxClientFrames {
+			cap := int(float64(c) * opts.CapFraction)
+			if cap < 1 {
+				cap = 1
+			}
+			ar.Caps[i] = cap
+		}
+
+		for _, pol := range opts.Policies {
+			if pol == "SCOMA" {
+				continue
+			}
+			res, err := opts.runOne(app, pol, ar.Caps)
+			if err != nil {
+				return nil, err
+			}
+			ar.ByPol[pol] = res
+		}
+		out = append(out, ar)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Formatting: the paper's figures and tables
+// ---------------------------------------------------------------------------
+
+// FormatFig7 renders execution time normalized to SCOMA (Figure 7).
+func FormatFig7(runs []AppRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: execution time normalized to SCOMA\n")
+	fmt.Fprintf(&b, "%-11s", "app")
+	for _, p := range PolicyOrder {
+		fmt.Fprintf(&b, " %9s", p)
+	}
+	b.WriteByte('\n')
+	for _, ar := range runs {
+		base := ar.ByPol["SCOMA"].Cycles
+		fmt.Fprintf(&b, "%-11s", ar.App)
+		for _, p := range PolicyOrder {
+			r, ok := ar.ByPol[p]
+			if !ok || base == 0 {
+				fmt.Fprintf(&b, " %9s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %9.2f", float64(r.Cycles)/float64(base))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable3 renders page consumption and utilization (Table 3).
+func FormatTable3(runs []AppRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: page frames allocated and average utilization\n")
+	fmt.Fprintf(&b, "%-11s %12s %12s %10s %10s\n", "app", "SCOMA frames", "LANUMA frames", "SCOMA util", "LANUMA util")
+	for _, ar := range runs {
+		s, l := ar.ByPol["SCOMA"], ar.ByPol["LANUMA"]
+		fmt.Fprintf(&b, "%-11s %12d %12d %10.3f %10.3f\n",
+			ar.App, s.RealFrames, l.RealFrames, s.Utilization, l.Utilization)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders remote misses for the static configurations and
+// SCOMA-70's page-outs (Table 4).
+func FormatTable4(runs []AppRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: remote misses (static configs) and SCOMA-70 page-outs\n")
+	fmt.Fprintf(&b, "%-11s %10s %10s %10s %10s\n", "app", "SCOMA", "LANUMA", "SCOMA-70", "page-outs")
+	for _, ar := range runs {
+		fmt.Fprintf(&b, "%-11s %10d %10d %10d %10d\n", ar.App,
+			ar.ByPol["SCOMA"].RemoteMisses,
+			ar.ByPol["LANUMA"].RemoteMisses,
+			ar.ByPol["SCOMA-70"].RemoteMisses,
+			ar.ByPol["SCOMA-70"].ClientPageOuts)
+	}
+	return b.String()
+}
+
+// FormatTable5 renders the adaptive configurations (Table 5).
+func FormatTable5(runs []AppRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: remote misses and page-outs (adaptive configs)\n")
+	fmt.Fprintf(&b, "%-11s %10s %10s %10s %9s %9s\n", "app",
+		"Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO(Util)", "PO(LRU)")
+	for _, ar := range runs {
+		fmt.Fprintf(&b, "%-11s %10d %10d %10d %9d %9d\n", ar.App,
+			ar.ByPol["Dyn-FCFS"].RemoteMisses,
+			ar.ByPol["Dyn-Util"].RemoteMisses,
+			ar.ByPol["Dyn-LRU"].RemoteMisses,
+			ar.ByPol["Dyn-Util"].ClientPageOuts,
+			ar.ByPol["Dyn-LRU"].ClientPageOuts)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the workload inventory (Table 2) for the paper
+// and scaled sizes.
+func FormatTable2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: application data sets\n")
+	rows := [][3]string{
+		{"Barnes", "Hierarchical N-body; 8K particles, 4 iters", "2K particles, 3 iters"},
+		{"FFT", "1-D six-step FFT; 64K complex doubles", "16K complex doubles"},
+		{"LU", "Blocked LU; 512x512 matrix, 16x16 blocks", "256x256, 16x16 blocks"},
+		{"MP3D", "Rarefied airflow; 20,000 particles, 5 iters", "5,000 particles, 4 iters"},
+		{"Ocean", "Ocean currents; 258x258 grid", "130x130 grid"},
+		{"Radix", "Radix sort; 1M keys, radix 1K", "256K keys, radix 256"},
+		{"Water-Nsq", "O(n^2) molecular dynamics; 512 mols, 3 iters", "216 mols, 2 iters"},
+		{"Water-Spa", "O(n) molecular dynamics; 512 mols, 3 iters", "216 mols, 2 iters"},
+	}
+	fmt.Fprintf(&b, "%-11s %-48s %s\n", "app", "paper size", "ci size")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %-48s %s\n", r[0], r[1], r[2])
+	}
+	return b.String()
+}
+
+// RunTable1 measures and formats the latency microbenchmark.
+func RunTable1() (string, error) {
+	rows, err := latency.Measure(core.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	return "Table 1: uncontended miss latencies and paging overheads (cycles)\n" + latency.Format(rows), nil
+}
+
+// PITRow is one application's result in the PIT sweep.
+type PITRow struct {
+	App      string
+	Fast     sim.Time // PIT = 2 cycles (SRAM)
+	Slow     sim.Time // PIT = 10 cycles (DRAM)
+	Increase float64  // fractional slowdown
+}
+
+// RunPITSweep reproduces the end of §4.3: execution time increase when
+// the PIT is DRAM (10 cycles) instead of SRAM (2 cycles). The sweep
+// runs the static LANUMA configuration — the §4.3 question is exactly
+// whether LA-NUMA's extra PIT translation degrades performance versus
+// a true CC-NUMA frame mode that bypasses the PIT, and the static
+// config isolates that overhead from adaptive-policy noise (a slower
+// PIT shifts LRU victim timing under Dyn-*, which can swamp the
+// translation signal at small scales).
+func RunPITSweep(opts Options) ([]PITRow, error) {
+	opts.defaults()
+	var out []PITRow
+	for _, app := range opts.Apps {
+		opts.logf("%s (PIT sweep):", app)
+		fastOpts := opts
+		fastOpts.PITAccess = 2
+		fast, err := fastOpts.runOne(app, "LANUMA", nil)
+		if err != nil {
+			return nil, err
+		}
+		slowOpts := opts
+		slowOpts.PITAccess = 10
+		slow, err := slowOpts.runOne(app, "LANUMA", nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PITRow{
+			App:      app,
+			Fast:     fast.Cycles,
+			Slow:     slow.Cycles,
+			Increase: float64(slow.Cycles)/float64(fast.Cycles) - 1,
+		})
+	}
+	return out, nil
+}
+
+// FormatPITSweep renders the PIT study.
+func FormatPITSweep(rows []PITRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PIT access time study (§4.3): DRAM (10cy) vs SRAM (2cy) PIT, LANUMA\n")
+	fmt.Fprintf(&b, "%-11s %14s %14s %9s\n", "app", "SRAM cycles", "DRAM cycles", "increase")
+	sorted := append([]PITRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].App < sorted[j].App })
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-11s %14d %14d %8.1f%%\n", r.App, r.Fast, r.Slow, r.Increase*100)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV dumps every run's raw results, one row per app×policy.
+func WriteCSV(w io.Writer, runs []AppRun) error {
+	if _, err := fmt.Fprintln(w, "app,policy,cycles,remote_misses,page_outs,real_frames,imag_frames,utilization,upgrades,writebacks,invalidations,page_faults,net_messages,net_bytes"); err != nil {
+		return err
+	}
+	for _, ar := range runs {
+		for _, pol := range PolicyOrder {
+			r, ok := ar.ByPol[pol]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d\n",
+				ar.App, pol, r.Cycles, r.RemoteMisses, r.ClientPageOuts,
+				r.RealFrames, r.ImagFrames, r.Utilization,
+				r.Upgrades, r.WritebacksSent, r.InvsSent, r.PageFaults,
+				r.NetMessages, r.NetBytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

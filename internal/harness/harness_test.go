@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"prism/workloads"
+)
+
+func miniOpts() Options {
+	return Options{
+		Size: workloads.MiniSize,
+		Apps: []string{"fft", "water-spa"},
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	runs, err := Run(miniOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("apps %d, want 2", len(runs))
+	}
+	for _, ar := range runs {
+		for _, pol := range PolicyOrder {
+			res, ok := ar.ByPol[pol]
+			if !ok {
+				t.Fatalf("%s missing policy %s", ar.App, pol)
+			}
+			if res.Cycles == 0 {
+				t.Errorf("%s/%s: zero cycles", ar.App, pol)
+			}
+		}
+		// SCOMA is the floor (within a small tolerance for adaptive
+		// policies that can luck into better placement at mini scale).
+		base := ar.ByPol["SCOMA"].Cycles
+		for _, pol := range PolicyOrder[1:] {
+			if c := ar.ByPol[pol].Cycles; float64(c) < 0.90*float64(base) {
+				t.Errorf("%s/%s: %d cycles beats SCOMA %d by >10%%", ar.App, pol, c, base)
+			}
+		}
+		if len(ar.Caps) == 0 {
+			t.Errorf("%s: no caps computed", ar.App)
+		}
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	runs, err := Run(miniOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]string{
+		"fig7":   FormatFig7(runs),
+		"table3": FormatTable3(runs),
+		"table4": FormatTable4(runs),
+		"table5": FormatTable5(runs),
+		"table2": FormatTable2(),
+	} {
+		if len(s) == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+		if !strings.Contains(s, "fft") && name != "table2" {
+			t.Errorf("%s: missing app row:\n%s", name, s)
+		}
+	}
+	f7 := FormatFig7(runs)
+	if !strings.Contains(f7, "1.00") {
+		t.Errorf("fig7 lacks the normalized SCOMA column:\n%s", f7)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TLB miss", "573", "In-core page fault"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestPITSweep(t *testing.T) {
+	opts := Options{Size: workloads.MiniSize, Apps: []string{"fft"}}
+	rows, err := RunPITSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	r := rows[0]
+	if r.Slow < r.Fast {
+		t.Errorf("DRAM PIT faster than SRAM: %d < %d", r.Slow, r.Fast)
+	}
+	if r.Increase < 0 || r.Increase > 1 {
+		t.Errorf("implausible increase %.3f", r.Increase)
+	}
+	if s := FormatPITSweep(rows); !strings.Contains(s, "fft") {
+		t.Errorf("format missing row:\n%s", s)
+	}
+}
+
+func TestBadApp(t *testing.T) {
+	opts := Options{Size: workloads.MiniSize, Apps: []string{"nosuch"}}
+	if _, err := Run(opts); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

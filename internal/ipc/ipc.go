@@ -1,0 +1,137 @@
+// Package ipc implements PRISM's global naming layer: the global IPC
+// server that backs the globalized System V shared-memory calls
+// (shmget/shmat of §3.3–3.4), the global-segment registry, and the
+// static/dynamic home tables used to route coherence and paging
+// traffic (the dynamic entry moves under lazy page migration).
+//
+// In the real system the IPC server is a distinguished process and
+// the static-home tables are distributed; the simulator centralizes
+// the bookkeeping (it is "located at" whichever node a lookup models)
+// and charges the messaging costs at the call sites in the kernel.
+package ipc
+
+import (
+	"fmt"
+
+	"prism/internal/mem"
+)
+
+// Segment describes one global segment.
+type Segment struct {
+	GSID mem.GSID
+	Key  string
+	Size uint64
+	// Attaches counts shmat calls (the IPC server's attach count).
+	Attaches int
+}
+
+// Pages returns the number of pages in the segment.
+func (s *Segment) Pages(g mem.Geometry) int {
+	return int((s.Size + uint64(g.PageSize) - 1) / uint64(g.PageSize))
+}
+
+// Registry is the global IPC server state plus the home tables.
+// It implements coherence.HomeRouter.
+type Registry struct {
+	geom  mem.Geometry
+	nodes int
+
+	byKey  map[string]*Segment
+	byGSID map[mem.GSID]*Segment
+	nextID mem.GSID
+
+	// dynHome records pages whose dynamic home differs from the
+	// static home (sparse: unmigrated pages are absent). Conceptually
+	// this is each static home's migration table.
+	dynHome map[mem.GPage]mem.NodeID
+}
+
+// NewRegistry builds an empty registry for a machine of nodes nodes.
+func NewRegistry(geom mem.Geometry, nodes int) *Registry {
+	return &Registry{
+		geom:    geom,
+		nodes:   nodes,
+		byKey:   make(map[string]*Segment),
+		byGSID:  make(map[mem.GSID]*Segment),
+		nextID:  1, // GSID 0 is reserved as "no segment"
+		dynHome: make(map[mem.GPage]mem.NodeID),
+	}
+}
+
+// Nodes returns the machine's node count.
+func (r *Registry) Nodes() int { return r.nodes }
+
+// Shmget allocates (or finds) the global segment named key. It is the
+// globalized shmget: the first call creates the segment at all of its
+// home nodes; later calls with the same key return the same GSID.
+func (r *Registry) Shmget(key string, size uint64) (*Segment, error) {
+	if s, ok := r.byKey[key]; ok {
+		if s.Size < size {
+			return nil, fmt.Errorf("ipc: segment %q exists with smaller size %d < %d", key, s.Size, size)
+		}
+		return s, nil
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("ipc: zero-size segment %q", key)
+	}
+	s := &Segment{GSID: r.nextID, Key: key, Size: size}
+	r.nextID++
+	r.byKey[key] = s
+	r.byGSID[s.GSID] = s
+	return s, nil
+}
+
+// Shmat records an attach of the segment. The kernel performing the
+// attach sets up its local VSID→GSID binding; the IPC server only
+// tracks the count.
+func (r *Registry) Shmat(gsid mem.GSID) (*Segment, error) {
+	s, ok := r.byGSID[gsid]
+	if !ok {
+		return nil, fmt.Errorf("ipc: shmat of unknown gsid %d", gsid)
+	}
+	s.Attaches++
+	return s, nil
+}
+
+// Shmdt records a detach.
+func (r *Registry) Shmdt(gsid mem.GSID) error {
+	s, ok := r.byGSID[gsid]
+	if !ok || s.Attaches == 0 {
+		return fmt.Errorf("ipc: shmdt of unattached gsid %d", gsid)
+	}
+	s.Attaches--
+	return nil
+}
+
+// Segment returns the segment for gsid, or nil.
+func (r *Registry) Segment(gsid mem.GSID) *Segment { return r.byGSID[gsid] }
+
+// StaticHome assigns homes round-robin across nodes by global page
+// number — the paper's experimental configuration ("homes for
+// shared-memory pages are assigned round robin across the nodes").
+func (r *Registry) StaticHome(g mem.GPage) mem.NodeID {
+	return mem.NodeID((int(g.Seg)*131 + int(g.Page)) % r.nodes)
+}
+
+// DynamicHome returns the page's current dynamic home as recorded at
+// the static home (§3.5). Unmigrated pages live at their static home.
+func (r *Registry) DynamicHome(g mem.GPage) mem.NodeID {
+	if n, ok := r.dynHome[g]; ok {
+		return n
+	}
+	return r.StaticHome(g)
+}
+
+// SetDynamicHome is called by the migration manager when the static
+// home commits a migration.
+func (r *Registry) SetDynamicHome(g mem.GPage, n mem.NodeID) {
+	if n == r.StaticHome(g) {
+		delete(r.dynHome, g)
+	} else {
+		r.dynHome[g] = n
+	}
+}
+
+// MigratedPages returns how many pages currently live away from their
+// static homes.
+func (r *Registry) MigratedPages() int { return len(r.dynHome) }

@@ -1,0 +1,122 @@
+package ipc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/mem"
+)
+
+func TestShmgetCreatesAndFinds(t *testing.T) {
+	r := NewRegistry(mem.DefaultGeometry, 8)
+	s1, err := r.Shmget("data", 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.GSID == 0 {
+		t.Fatal("GSID 0 is reserved")
+	}
+	s2, err := r.Shmget("data", 32<<10)
+	if err != nil || s2.GSID != s1.GSID {
+		t.Fatalf("re-get: %v %v", s2, err)
+	}
+	if _, err := r.Shmget("data", 128<<10); err == nil {
+		t.Error("grew an existing segment silently")
+	}
+	if _, err := r.Shmget("zero", 0); err == nil {
+		t.Error("zero-size segment accepted")
+	}
+	s3, _ := r.Shmget("other", 4096)
+	if s3.GSID == s1.GSID {
+		t.Error("GSID collision")
+	}
+}
+
+func TestAttachCounts(t *testing.T) {
+	r := NewRegistry(mem.DefaultGeometry, 4)
+	s, _ := r.Shmget("seg", 4096)
+	if _, err := r.Shmat(s.GSID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Shmat(s.GSID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Attaches != 2 {
+		t.Fatalf("attaches %d", s.Attaches)
+	}
+	if err := r.Shmdt(s.GSID); err != nil || s.Attaches != 1 {
+		t.Fatalf("detach: %v %d", err, s.Attaches)
+	}
+	if _, err := r.Shmat(999); err == nil {
+		t.Error("attached unknown gsid")
+	}
+	if err := r.Shmdt(999); err == nil {
+		t.Error("detached unknown gsid")
+	}
+}
+
+func TestSegmentPages(t *testing.T) {
+	r := NewRegistry(mem.DefaultGeometry, 4)
+	s, _ := r.Shmget("seg", 4096*3+1)
+	if s.Pages(mem.DefaultGeometry) != 4 {
+		t.Fatalf("pages %d, want 4", s.Pages(mem.DefaultGeometry))
+	}
+	if r.Segment(s.GSID) != s {
+		t.Fatal("segment lookup failed")
+	}
+	if r.Segment(999) != nil {
+		t.Fatal("phantom segment")
+	}
+}
+
+func TestStaticHomeRoundRobin(t *testing.T) {
+	r := NewRegistry(mem.DefaultGeometry, 8)
+	seen := map[mem.NodeID]int{}
+	for pg := 0; pg < 64; pg++ {
+		h := r.StaticHome(mem.GPage{Seg: 1, Page: uint32(pg)})
+		seen[h]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("round robin covered %d nodes, want 8", len(seen))
+	}
+	for n, c := range seen {
+		if c != 8 {
+			t.Fatalf("node %d got %d pages, want 8", n, c)
+		}
+	}
+}
+
+func TestStaticHomeInRangeProperty(t *testing.T) {
+	r := NewRegistry(mem.DefaultGeometry, 6)
+	f := func(seg uint16, pg uint32) bool {
+		h := r.StaticHome(mem.GPage{Seg: mem.GSID(seg), Page: pg % (1 << 20)})
+		return h >= 0 && int(h) < 6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicHome(t *testing.T) {
+	r := NewRegistry(mem.DefaultGeometry, 8)
+	g := mem.GPage{Seg: 1, Page: 3}
+	static := r.StaticHome(g)
+	if r.DynamicHome(g) != static {
+		t.Fatal("unmigrated page not at static home")
+	}
+	other := (static + 1) % 8
+	r.SetDynamicHome(g, other)
+	if r.DynamicHome(g) != other || r.MigratedPages() != 1 {
+		t.Fatal("migration not recorded")
+	}
+	r.SetDynamicHome(g, static) // migrate back: entry cleaned
+	if r.DynamicHome(g) != static || r.MigratedPages() != 0 {
+		t.Fatal("migrate-back not cleaned")
+	}
+}
+
+func TestNodes(t *testing.T) {
+	if NewRegistry(mem.DefaultGeometry, 3).Nodes() != 3 {
+		t.Fatal("node count lost")
+	}
+}

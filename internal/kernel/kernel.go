@@ -1,0 +1,921 @@
+// Package kernel implements one node's independent operating-system
+// kernel: node-private virtual memory management (page tables and
+// frame pools per mode), page-fault handling, the external paging
+// protocol against page homes, page-mode binding under a pluggable
+// policy, home-page-status flags, and the home-side paging service.
+//
+// Each kernel manages only its own node's resources (§3.3): page
+// faults never require global TLB invalidations, and all translations
+// are node-private.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"prism/internal/coherence"
+	"prism/internal/ipc"
+	"prism/internal/mem"
+	"prism/internal/network"
+	"prism/internal/pit"
+	"prism/internal/policy"
+	"prism/internal/sim"
+	"prism/internal/timing"
+)
+
+// PTE is a page-table entry.
+type PTE struct {
+	Frame mem.FrameID
+	Mode  pit.Mode
+}
+
+// NodeHW is the hardware the kernel drives that lives in the node
+// layer (avoiding an import cycle).
+type NodeHW interface {
+	// TLBShootdown invalidates vp in every local processor TLB. Local
+	// only — PRISM never needs cross-node TLB invalidation.
+	TLBShootdown(vp mem.VPage)
+}
+
+// Config sizes one node's memory.
+type Config struct {
+	// RealFrames is the node's physical memory in frames. Exhausting
+	// it is a configuration error (panic); the page-cache cap below is
+	// what creates paging pressure in the experiments.
+	RealFrames int
+	// PageCacheCap bounds the number of *client* S-COMA frames
+	// (0 = unlimited). SCOMA-70 and the adaptive policies set this.
+	PageCacheCap int
+	// NoHomeFlags disables the home-page-status flag optimization of
+	// §3.3 (every client fault then pays the page-in round trip) —
+	// an ablation knob.
+	NoHomeFlags bool
+}
+
+// Stats counts kernel paging activity.
+type Stats struct {
+	Faults        uint64
+	PrivateFaults uint64
+	HomeFaults    uint64
+	ClientFaults  uint64
+	// FlagHits counts client faults that skipped the page-in message
+	// thanks to the home-page-status flag.
+	FlagHits uint64
+	// PageInMsgs counts page-in requests actually sent.
+	PageInMsgs uint64
+	// ClientPageOuts is the Table 4/5 "Page-Outs" statistic.
+	ClientPageOuts uint64
+	// Conversions counts pages switched to LA-NUMA mode by a policy;
+	// ReverseConversions counts Dyn-Both's LA-NUMA → S-COMA switches.
+	Conversions        uint64
+	ReverseConversions uint64
+	// HomePageOuts counts home-initiated page-outs.
+	HomePageOuts uint64
+	// Migrations counts lazy page migrations this node coordinated.
+	Migrations uint64
+
+	// Frame accounting (Table 3).
+	RealAllocated uint64 // real frames allocated (private + home + client S-COMA)
+	ImagAllocated uint64 // imaginary (LA-NUMA) frames allocated
+	// UtilSum/UtilFrames accumulate per-frame utilization of real
+	// frames as they are freed; live frames are added by Utilization.
+	UtilSum    float64
+	UtilFrames uint64
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+type attachInfo struct {
+	gsid    mem.GSID
+	private bool
+}
+
+type frameBinding struct {
+	vp     mem.VPage
+	page   mem.GPage
+	client bool // client (non-home) S-COMA frame — subject to the cap
+	busy   bool // page-out in progress
+}
+
+type homePage struct {
+	frame  mem.FrameID
+	known  map[mem.NodeID]bool // clients holding a home-page-status flag
+	mapped map[mem.NodeID]bool // clients with the page currently mapped
+}
+
+type faultCont func(at sim.Time, f mem.FrameID, ok bool)
+
+// DebugPageBusy, when non-nil, observes page-busy transitions (used by
+// protocol debugging tests).
+var DebugPageBusy func(node mem.NodeID, g mem.GPage, ev string)
+
+func (k *Kernel) dbgPB(g mem.GPage, ev string) {
+	if DebugPageBusy != nil {
+		DebugPageBusy(k.node, g, fmt.Sprintf("%s t=%d", ev, k.e.Now()))
+	}
+}
+
+// Kernel is one node's OS kernel.
+type Kernel struct {
+	e    *sim.Engine
+	node mem.NodeID
+	geom mem.Geometry
+	tm   *timing.T
+	cfg  Config
+
+	reg  *ipc.Registry
+	ctrl *coherence.Controller
+	net  *network.Network
+	hw   NodeHW
+	pol  policy.Policy
+
+	attach map[mem.VSID]attachInfo
+	pt     map[mem.VPage]PTE
+
+	freeReal  []mem.FrameID
+	nextReal  mem.FrameID
+	nextImag  mem.FrameID
+	realInUse int
+
+	clientSCOMA     int
+	clientSCOMAHigh int
+	frames          map[mem.FrameID]*frameBinding
+
+	// Per-page client-side state.
+	pageMode      map[mem.GPage]pit.Mode // sticky mode (absent = S-COMA preferred)
+	homeStatus    map[mem.GPage]bool     // home-page-status flags
+	homeFrameHint map[mem.GPage]mem.FrameID
+	dynHomeHint   map[mem.GPage]mem.NodeID
+
+	// In-flight bookkeeping.
+	inProgress map[mem.VPage][]faultCont
+	pageBusy   map[mem.GPage][]func()
+	pendingIn  map[mem.GPage][]func(at sim.Time, resp *PageInResp)
+
+	// Home-side state.
+	homePages map[mem.GPage]*homePage
+	unmapWait map[mem.GPage]*unmapTxn
+
+	// Migration state (§3.5). migrating and migratedAway live at the
+	// static home; dynPages records pages adopted as dynamic home.
+	migrating    map[mem.GPage]func(at sim.Time)
+	migratedAway map[mem.GPage]migRecord
+	dynPages     map[mem.GPage]mem.FrameID
+
+	Stats Stats
+}
+
+type unmapTxn struct {
+	needAcks int
+	done     func(at sim.Time)
+}
+
+// imagBase separates imaginary frame numbers from real ones.
+const imagBase mem.FrameID = 1 << 20
+
+// New builds a kernel. Call Bind afterwards to connect the controller
+// (construction order: kernel and controller reference each other).
+func New(e *sim.Engine, node mem.NodeID, geom mem.Geometry, tm *timing.T, cfg Config,
+	reg *ipc.Registry, net *network.Network, pol policy.Policy) *Kernel {
+	if cfg.RealFrames <= 0 {
+		panic(fmt.Sprintf("kernel: node %d has no memory (RealFrames=%d)", node, cfg.RealFrames))
+	}
+	return &Kernel{
+		e: e, node: node, geom: geom, tm: tm, cfg: cfg,
+		reg: reg, net: net, pol: pol,
+		attach:        make(map[mem.VSID]attachInfo),
+		pt:            make(map[mem.VPage]PTE),
+		nextImag:      imagBase,
+		frames:        make(map[mem.FrameID]*frameBinding),
+		pageMode:      make(map[mem.GPage]pit.Mode),
+		homeStatus:    make(map[mem.GPage]bool),
+		homeFrameHint: make(map[mem.GPage]mem.FrameID),
+		dynHomeHint:   make(map[mem.GPage]mem.NodeID),
+		inProgress:    make(map[mem.VPage][]faultCont),
+		pageBusy:      make(map[mem.GPage][]func()),
+		pendingIn:     make(map[mem.GPage][]func(sim.Time, *PageInResp)),
+		homePages:     make(map[mem.GPage]*homePage),
+		unmapWait:     make(map[mem.GPage]*unmapTxn),
+	}
+}
+
+// Bind connects the controller and node hardware. If the policy is a
+// reuse detector (Dyn-Both), the controller's refetch hook is armed so
+// hot LA-NUMA pages convert back to S-COMA.
+func (k *Kernel) Bind(ctrl *coherence.Controller, hw NodeHW) {
+	k.ctrl = ctrl
+	k.hw = hw
+	if rd, ok := k.pol.(policy.ReuseDetector); ok {
+		ctrl.SetRefetchHook(rd.RefetchThreshold(), k.convertToSCOMA)
+	}
+}
+
+// convertToSCOMA is the reverse adaptive direction: a LA-NUMA page
+// that keeps refetching lines from its home is unmapped and unpinned,
+// so its next fault allocates an S-COMA frame (which may in turn evict
+// a colder page under the forward policy).
+func (k *Kernel) convertToSCOMA(f mem.FrameID) {
+	fb := k.frames[f]
+	if fb == nil || f < imagBase {
+		return // raced with an unmap or conversion
+	}
+	g := fb.page
+	if _, busy := k.pageBusy[g]; busy {
+		return
+	}
+	if _, faulting := k.inProgress[fb.vp]; faulting {
+		return
+	}
+	k.Stats.ReverseConversions++
+	k.ReleaseLANUMA(f, pit.ModeSCOMA, func(sim.Time) {})
+}
+
+// Node returns the kernel's node id.
+func (k *Kernel) Node() mem.NodeID { return k.node }
+
+// SetPageCacheCap adjusts the client page-cache capacity (the harness
+// sets SCOMA-70's per-node cap from a prior SCOMA run).
+func (k *Kernel) SetPageCacheCap(cap int) { k.cfg.PageCacheCap = cap }
+
+// AttachPrivate binds vsid as a node-private segment: its pages get
+// Local-mode frames.
+func (k *Kernel) AttachPrivate(vsid mem.VSID) {
+	k.attach[vsid] = attachInfo{private: true}
+}
+
+// AttachGlobal binds vsid to global segment gsid at identical page
+// offsets — the globalized shmat (§3.4). The user-controlled,
+// region-granularity global binding is exactly this call: one
+// coordination per segment, not per page.
+func (k *Kernel) AttachGlobal(vsid mem.VSID, gsid mem.GSID) error {
+	if _, err := k.reg.Shmat(gsid); err != nil {
+		return err
+	}
+	k.attach[vsid] = attachInfo{gsid: gsid}
+	return nil
+}
+
+// PTE looks up vp in the node page table (the hardware walker's view).
+func (k *Kernel) PTE(vp mem.VPage) (PTE, bool) {
+	e, ok := k.pt[vp]
+	return e, ok
+}
+
+// GlobalPage translates a virtual page to its global page, if vp
+// belongs to an attached global segment.
+func (k *Kernel) GlobalPage(vp mem.VPage) (mem.GPage, bool) {
+	info, ok := k.attach[vp.Seg]
+	if !ok || info.private {
+		return mem.GPage{}, false
+	}
+	return mem.GPage{Seg: info.gsid, Page: vp.Page}, true
+}
+
+// vpageOf reconstructs the local virtual page for a global page. Valid
+// under the identical-offset attach convention used by the loader.
+func (k *Kernel) vpageOf(g mem.GPage) (mem.VPage, bool) {
+	for vsid, info := range k.attach {
+		if !info.private && info.gsid == g.Seg {
+			return mem.VPage{Seg: vsid, Page: g.Page}, true
+		}
+	}
+	return mem.VPage{}, false
+}
+
+// allocReal takes a real frame from the pool.
+func (k *Kernel) allocReal() mem.FrameID {
+	if n := len(k.freeReal); n > 0 {
+		f := k.freeReal[n-1]
+		k.freeReal = k.freeReal[:n-1]
+		k.realInUse++
+		k.Stats.RealAllocated++
+		return f
+	}
+	if int(k.nextReal) >= k.cfg.RealFrames {
+		panic(fmt.Sprintf("kernel: node %d out of physical memory (%d frames); raise Config.RealFrames", k.node, k.cfg.RealFrames))
+	}
+	f := k.nextReal
+	k.nextReal++
+	k.realInUse++
+	k.Stats.RealAllocated++
+	return f
+}
+
+// allocImag mints an imaginary frame number (LA-NUMA): no memory is
+// consumed, the number only names a PIT entry.
+func (k *Kernel) allocImag() mem.FrameID {
+	f := k.nextImag
+	k.nextImag++
+	k.Stats.ImagAllocated++
+	return f
+}
+
+// freeFrame returns a frame to its pool, folding its utilization into
+// the Table 3 accumulator.
+func (k *Kernel) freeFrame(f mem.FrameID, ent *pit.Entry) {
+	if ent != nil && ent.Touched != nil {
+		k.Stats.UtilSum += ent.Utilization()
+		k.Stats.UtilFrames++
+	}
+	if f < imagBase {
+		k.freeReal = append(k.freeReal, f)
+		k.realInUse--
+	}
+}
+
+// Utilization returns the running average utilization of real frames,
+// including currently-live ones (Table 3's static measure).
+func (k *Kernel) Utilization() float64 {
+	sum, n := k.Stats.UtilSum, k.Stats.UtilFrames
+	k.ctrl.PIT.Frames(func(f mem.FrameID, e *pit.Entry) {
+		if f < imagBase && e.Touched != nil {
+			sum += e.Utilization()
+			n++
+		}
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ---------------------------------------------------------------------------
+// Page-fault handling
+// ---------------------------------------------------------------------------
+
+// HandleFault services a page fault on vp. done runs in engine context
+// with the mapped frame; ok=false is an unresolvable fault (segfault:
+// vp is not in any attached segment). Concurrent faults on the same
+// virtual page coalesce onto one service.
+func (k *Kernel) HandleFault(vp mem.VPage, done faultCont) {
+	if conts, ok := k.inProgress[vp]; ok {
+		k.inProgress[vp] = append(conts, done)
+		return
+	}
+
+	// Spurious fault: a processor running ahead took the fault before
+	// another processor's fault service mapped the page. Re-check the
+	// page table (the "retry under the page-table lock" of a real VM
+	// system) and return immediately.
+	if pte, ok := k.pt[vp]; ok {
+		done(k.e.Now(), pte.Frame, true)
+		return
+	}
+
+	info, ok := k.attach[vp.Seg]
+	if !ok {
+		done(k.e.Now(), 0, false)
+		return
+	}
+
+	k.inProgress[vp] = nil
+	finish := func(at sim.Time, f mem.FrameID, okf bool) {
+		conts := k.inProgress[vp]
+		delete(k.inProgress, vp)
+		done(at, f, okf)
+		for _, c := range conts {
+			c(at, f, okf)
+		}
+	}
+
+	k.Stats.Faults++
+
+	if info.private {
+		k.Stats.PrivateFaults++
+		f := k.allocReal()
+		k.ctrl.PIT.Insert(f, pit.Entry{Mode: pit.ModeLocal, StaticHome: k.node, DynHome: k.node})
+		k.frames[f] = &frameBinding{vp: vp}
+		k.pt[vp] = PTE{Frame: f, Mode: pit.ModeLocal}
+		finish(k.e.Now()+k.tm.PFKernelLocal, f, true)
+		return
+	}
+
+	g := mem.GPage{Seg: info.gsid, Page: vp.Page}
+
+	// A page-out of this very page may be in flight; wait for it.
+	if _, busy := k.pageBusy[g]; busy {
+		k.dbgPB(g, "defer-fault")
+		k.pageBusy[g] = append(k.pageBusy[g], func() {
+			t := k.inProgress[vp]
+			delete(k.inProgress, vp)
+			k.HandleFault(vp, done)
+			// Re-queue any continuations that piled up meanwhile.
+			k.inProgress[vp] = append(k.inProgress[vp], t...)
+		})
+		return
+	}
+
+	if k.reg.StaticHome(g) == k.node {
+		if rec, away := k.migratedAway[g]; away {
+			// The dynamic home moved elsewhere: this node faults as a
+			// client of it.
+			k.Stats.ClientFaults++
+			k.homeStatus[g] = true // the page is in-core at its home by invariant
+			k.dynHomeHint[g] = rec.node
+			k.homeFrameHint[g] = rec.frame
+			k.clientFault(vp, g, finish)
+			return
+		}
+		if f, ok := k.dynPages[g]; ok {
+			// Adopted dynamic home: the page is already mapped here.
+			k.pt[vp] = PTE{Frame: f, Mode: pit.ModeSCOMA}
+			if fb := k.frames[f]; fb != nil {
+				fb.vp = vp
+			}
+			k.Stats.HomeFaults++
+			finish(k.e.Now()+k.tm.PFKernelLocal, f, true)
+			return
+		}
+		k.Stats.HomeFaults++
+		f := k.mapAtHome(g)
+		mode := pit.ModeSCOMA
+		if k.pageMode[g] == pit.ModeSync {
+			mode = pit.ModeSync
+		}
+		k.pt[vp] = PTE{Frame: f, Mode: mode}
+		finish(k.e.Now()+k.tm.PFKernelLocal, f, true)
+		return
+	}
+
+	k.Stats.ClientFaults++
+	if f, ok := k.dynPages[g]; ok {
+		// This node adopted the page as its dynamic home even though
+		// its static home is elsewhere: map directly.
+		k.pt[vp] = PTE{Frame: f, Mode: pit.ModeSCOMA}
+		if fb := k.frames[f]; fb != nil {
+			fb.vp = vp
+		}
+		finish(k.e.Now()+k.tm.PFKernelLocal, f, true)
+		return
+	}
+	k.clientFault(vp, g, finish)
+}
+
+// mapAtHome ensures page g is in-core at this (home) node, returning
+// its frame. Fine-grain tags initialize to Exclusive and the directory
+// entries to exclusive-at-home (§3.3).
+func (k *Kernel) mapAtHome(g mem.GPage) mem.FrameID {
+	if hp, ok := k.homePages[g]; ok {
+		return hp.frame
+	}
+	if f, ok := k.dynPages[g]; ok {
+		// The page migrated away and back: it lives in the adopted
+		// set with its directory intact.
+		return f
+	}
+	f := k.allocReal()
+	mode := pit.ModeSCOMA
+	if k.pageMode[g] == pit.ModeSync {
+		mode = pit.ModeSync
+	}
+	ent := pit.Entry{
+		Mode: mode, GPage: g,
+		StaticHome: k.node, DynHome: k.node,
+		HomeFrame: f, HomeFrameKnown: true,
+		Caps: ^uint64(0), // experiments run fully trusting; the firewall demo narrows this
+	}
+	if mode == pit.ModeSCOMA {
+		tags := make([]pit.Tag, k.geom.LinesPerPage())
+		for i := range tags {
+			tags[i] = pit.TagExclusive
+		}
+		ent.Tags = tags
+	}
+	k.ctrl.PIT.Insert(f, ent)
+	k.ctrl.Dir.AddPage(g, k.node)
+	k.frames[f] = &frameBinding{page: g}
+	k.homePages[g] = &homePage{
+		frame:  f,
+		known:  make(map[mem.NodeID]bool),
+		mapped: make(map[mem.NodeID]bool),
+	}
+	return f
+}
+
+// clientFault runs the client-side fault state machine:
+// [optional victim page-out] → [page-in at home unless flagged] →
+// [allocate frame, bind PIT and page table].
+func (k *Kernel) clientFault(vp mem.VPage, g mem.GPage, finish faultCont) {
+	var dec policy.Decision
+	switch k.pageMode[g] {
+	case pit.ModeLANUMA:
+		// The page was converted: future faults use imaginary frames
+		// without consulting the policy (§4.2).
+		dec = policy.Decision{Mode: pit.ModeLANUMA}
+	case pit.ModeSync:
+		// Synchronization pages (§3.2): imaginary at clients; the lock
+		// state lives at the home controller.
+		dec = policy.Decision{Mode: pit.ModeSync}
+	default:
+		dec = k.pol.Choose(k, g)
+	}
+
+	bind := func(at sim.Time) {
+		k.dbgPB(g, "bind")
+		var f mem.FrameID
+		ent := pit.Entry{
+			Mode: dec.Mode, GPage: g,
+			StaticHome: k.reg.StaticHome(g),
+			Caps:       ^uint64(0),
+		}
+		if dh, ok := k.dynHomeHint[g]; ok {
+			ent.DynHome = dh
+		} else {
+			ent.DynHome = ent.StaticHome
+		}
+		if hf, ok := k.homeFrameHint[g]; ok {
+			ent.HomeFrame = hf
+			ent.HomeFrameKnown = true
+		}
+		if dec.Mode == pit.ModeSCOMA {
+			f = k.allocReal()
+			k.clientSCOMA++
+			if k.clientSCOMA > k.clientSCOMAHigh {
+				k.clientSCOMAHigh = k.clientSCOMA
+			}
+			k.frames[f] = &frameBinding{vp: vp, page: g, client: true}
+		} else {
+			f = k.allocImag()
+			k.frames[f] = &frameBinding{vp: vp, page: g}
+		}
+		k.ctrl.PIT.Insert(f, ent) // fine-grain tags initialize Invalid
+		k.pt[vp] = PTE{Frame: f, Mode: dec.Mode}
+		finish(at, f, true)
+	}
+
+	pageIn := func(at sim.Time) {
+		if k.homeStatus[g] && !k.cfg.NoHomeFlags {
+			// Home-page-status flag set: the page is known in-core at
+			// the home; skip the round trip (§3.3 optimization).
+			k.Stats.FlagHits++
+			k.e.At(at+k.tm.PFKernelClient, func() { bind(k.e.Now()) })
+			return
+		}
+		k.Stats.PageInMsgs++
+		first := len(k.pendingIn[g]) == 0
+		k.pendingIn[g] = append(k.pendingIn[g], func(rt sim.Time, resp *PageInResp) {
+			k.homeStatus[g] = true
+			k.homeFrameHint[g] = resp.HomeFrame
+			k.dynHomeHint[g] = resp.DynHome
+			bind(rt)
+		})
+		if first {
+			t := at + k.tm.PFKernelClient
+			k.net.Send(t, k.node, k.reg.StaticHome(g), k.tm.MsgHeader, &PageInReq{Page: g})
+		}
+	}
+
+	if dec.HasVictim {
+		k.pageOutClient(dec.Victim, dec.ConvertVictim, func(at sim.Time) { pageIn(at) })
+	} else {
+		pageIn(k.e.Now())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Page-out
+// ---------------------------------------------------------------------------
+
+// pageOutClient evicts a client page frame: unmaps it locally (page
+// table + local TLBs), flushes dirty data to the home, drops the
+// client from the home's directory, frees the frame, and optionally
+// converts the page to LA-NUMA mode for its future faults here.
+func (k *Kernel) pageOutClient(f mem.FrameID, convert bool, done func(at sim.Time)) {
+	fb := k.frames[f]
+	if fb == nil || !fb.client || fb.busy {
+		panic(fmt.Sprintf("kernel: node %d: bad page-out victim %d", k.node, f))
+	}
+	fb.busy = true
+	g := fb.page
+	k.dbgPB(g, fmt.Sprintf("pageout-call f=%d", f))
+	k.Stats.ClientPageOuts++
+	if convert {
+		k.pageMode[g] = pit.ModeLANUMA
+		k.Stats.Conversions++
+	}
+	if _, exists := k.pageBusy[g]; exists {
+		panic(fmt.Sprintf("kernel: node %d: page %v already paging out (victim frame %d, binding %+v, t=%d)", k.node, g, f, *fb, k.e.Now()))
+	}
+	k.dbgPB(g, "pageout-start")
+	k.pageBusy[g] = nil
+
+	// Stop new accesses: unmap before flushing.
+	delete(k.pt, fb.vp)
+	k.hw.TLBShootdown(fb.vp)
+	// A client page-out clears the local flag conservatively only when
+	// converting; otherwise the home keeps us in its known set and the
+	// flag remains valid (the home will tell us if it unmaps).
+
+	start := k.e.Now() + k.tm.PageOutKernel
+	var attempt func()
+	attempt = func() {
+		ent := k.ctrl.PIT.Entry(f)
+		if ent != nil && ent.Mode == pit.ModeSCOMA && ent.InTransit() {
+			// An in-flight line transaction predates the unmap; let it
+			// drain (no new ones can start).
+			k.e.Schedule(64, attempt)
+			return
+		}
+		k.ctrl.FlushPage(f, true, func(at sim.Time) {
+			k.dbgPB(g, "pageout-done")
+			ent := k.ctrl.PIT.Remove(f)
+			delete(k.frames, f)
+			k.clientSCOMA--
+			k.freeFrame(f, ent)
+			waiters := k.pageBusy[g]
+			delete(k.pageBusy, g)
+			done(at)
+			for _, w := range waiters {
+				w()
+			}
+		})
+	}
+	k.e.At(start, attempt)
+}
+
+// ReleaseLANUMA unmaps an imaginary-frame page locally: flushes the
+// processor caches' (possibly dirty) lines home and removes the
+// binding. Used when converting a page between modes at this node
+// ("paging out the page and setting its mode", §3.3) and by tests.
+func (k *Kernel) ReleaseLANUMA(f mem.FrameID, newMode pit.Mode, done func(at sim.Time)) {
+	fb := k.frames[f]
+	if fb == nil || f < imagBase {
+		panic(fmt.Sprintf("kernel: node %d: ReleaseLANUMA of non-imaginary frame %d", k.node, f))
+	}
+	g := fb.page
+	delete(k.pt, fb.vp)
+	k.hw.TLBShootdown(fb.vp)
+	k.dbgPB(g, "release-start")
+	k.pageBusy[g] = nil
+	if newMode == pit.ModeSCOMA {
+		delete(k.pageMode, g)
+	} else {
+		k.pageMode[g] = newMode
+	}
+	k.e.Schedule(k.tm.PageOutKernel, func() {
+		k.ctrl.FlushPage(f, true, func(at sim.Time) {
+			ent := k.ctrl.PIT.Remove(f)
+			delete(k.frames, f)
+			k.freeFrame(f, ent)
+			waiters := k.pageBusy[g]
+			delete(k.pageBusy, g)
+			done(at)
+			for _, w := range waiters {
+				w()
+			}
+		})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Policy view (policy.View)
+// ---------------------------------------------------------------------------
+
+// ClientSCOMAFrames implements policy.View.
+func (k *Kernel) ClientSCOMAFrames() int { return k.clientSCOMA }
+
+// PageCacheCap implements policy.View.
+func (k *Kernel) PageCacheCap() int { return k.cfg.PageCacheCap }
+
+// victimCandidates returns evictable client S-COMA frames in
+// deterministic order.
+func (k *Kernel) victimCandidates() []mem.FrameID {
+	var out []mem.FrameID
+	for f, fb := range k.frames {
+		if !fb.client || fb.busy {
+			continue
+		}
+		ent := k.ctrl.PIT.Entry(f)
+		if ent == nil || ent.Mode != pit.ModeSCOMA || ent.InTransit() {
+			continue
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LRUVictim implements policy.View: least-recently-used by local bus
+// accesses to the frame.
+func (k *Kernel) LRUVictim() (mem.FrameID, bool) {
+	cands := k.victimCandidates()
+	if len(cands) == 0 {
+		return 0, false
+	}
+	best := cands[0]
+	bestT := k.ctrl.PIT.Entry(best).LastAccess
+	for _, f := range cands[1:] {
+		if t := k.ctrl.PIT.Entry(f).LastAccess; t < bestT {
+			best, bestT = f, t
+		}
+	}
+	return best, true
+}
+
+// MostInvalidVictim implements policy.View: the frame with the most
+// fine-grain tags in Invalid state (a controller query).
+func (k *Kernel) MostInvalidVictim() (mem.FrameID, bool) {
+	cands := k.victimCandidates()
+	if len(cands) == 0 {
+		return 0, false
+	}
+	best := cands[0]
+	bestN := k.ctrl.PIT.Entry(best).InvalidLines()
+	for _, f := range cands[1:] {
+		if n := k.ctrl.PIT.Entry(f).InvalidLines(); n > bestN {
+			best, bestN = f, n
+		}
+	}
+	return best, true
+}
+
+// ---------------------------------------------------------------------------
+// Home-side paging service and message dispatch
+// ---------------------------------------------------------------------------
+
+// ClientDropped implements coherence.HomePager: a client's flush with
+// Drop arrived; it no longer maps the page (it stays "known" — its
+// home-page-status flag remains valid until we unmap).
+func (k *Kernel) ClientDropped(g mem.GPage, src mem.NodeID) {
+	if hp, ok := k.homePages[g]; ok {
+		delete(hp.mapped, src)
+	}
+}
+
+// Deliver handles kernel-level (paging) messages. Returns false for
+// message types it does not own.
+func (k *Kernel) Deliver(src mem.NodeID, msg network.Message) bool {
+	switch m := msg.(type) {
+	case *PageInReq:
+		k.handlePageIn(src, m)
+	case *PageInResp:
+		conts := k.pendingIn[m.Page]
+		delete(k.pendingIn, m.Page)
+		at := k.e.Now()
+		for _, c := range conts {
+			c(at, m)
+		}
+	case *HomeUnmapReq:
+		k.handleHomeUnmapReq(src, m)
+	case *HomeUnmapAck:
+		k.handleHomeUnmapAck(src, m)
+	case *MigratePrepMsg:
+		k.handleMigratePrep(src, m)
+	case *MigrateDataMsg:
+		k.handleMigrateData(src, m)
+	case *MigrateCommitMsg:
+		k.handleMigrateCommit(src, m)
+	case *MigrateDoneMsg:
+		k.handleMigrateDone(src, m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (k *Kernel) handlePageIn(src mem.NodeID, m *PageInReq) {
+	if k.reg.StaticHome(m.Page) != k.node {
+		panic(fmt.Sprintf("kernel: node %d got PageInReq for %v homed at %d", k.node, m.Page, k.reg.StaticHome(m.Page)))
+	}
+	t := k.e.Now() + k.tm.PFHomeService
+	if rec, away := k.migratedAway[m.Page]; away {
+		// The dynamic home moved: it keeps the page in-core by the
+		// migration invariant, so the static home answers directly.
+		k.net.Send(t, k.node, src, k.tm.MsgHeader, &PageInResp{
+			Page: m.Page, HomeFrame: rec.frame, DynHome: rec.node,
+		})
+		return
+	}
+	f := k.mapAtHome(m.Page)
+	if hp := k.homePages[m.Page]; hp != nil {
+		hp.known[src] = true
+		hp.mapped[src] = true
+	}
+	k.net.Send(t, k.node, src, k.tm.MsgHeader, &PageInResp{
+		Page:      m.Page,
+		HomeFrame: f,
+		DynHome:   k.reg.DynamicHome(m.Page),
+	})
+}
+
+// EvictHomePage pages out page g at its home: every known client is
+// asked to drop its copy and reset its flag; once all acknowledge, the
+// home removes the page (writing it "to disk" — modeled as kernel
+// cost) and frees the frame. done runs when complete.
+func (k *Kernel) EvictHomePage(g mem.GPage, done func(at sim.Time)) error {
+	if _, away := k.migratedAway[g]; away {
+		return fmt.Errorf("kernel: %v migrated away; migrate it back before a home page-out", g)
+	}
+	if _, busy := k.migrating[g]; busy {
+		return fmt.Errorf("kernel: %v is migrating", g)
+	}
+	hp, ok := k.homePages[g]
+	if !ok {
+		return fmt.Errorf("kernel: node %d is not home of a mapped %v", k.node, g)
+	}
+	if _, busy := k.unmapWait[g]; busy {
+		return fmt.Errorf("kernel: node %d: %v already being unmapped", k.node, g)
+	}
+	k.Stats.HomePageOuts++
+	clients := make([]mem.NodeID, 0, len(hp.known))
+	for n := range hp.known {
+		clients = append(clients, n)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+
+	finish := func(at sim.Time) {
+		// Unmap locally: shoot down local translations, remove PIT,
+		// directory and page table state.
+		if vp, ok := k.vpageOf(g); ok {
+			delete(k.pt, vp)
+			k.hw.TLBShootdown(vp)
+		}
+		ent := k.ctrl.PIT.Remove(hp.frame)
+		k.ctrl.Dir.RemovePage(g)
+		delete(k.frames, hp.frame)
+		k.freeFrame(hp.frame, ent)
+		delete(k.homePages, g)
+		done(at + k.tm.PageOutKernel)
+	}
+
+	if len(clients) == 0 {
+		k.e.Schedule(k.tm.PageOutKernel, func() { finish(k.e.Now()) })
+		return nil
+	}
+	k.unmapWait[g] = &unmapTxn{needAcks: len(clients), done: finish}
+	t := k.e.Now() + k.tm.PageOutKernel
+	for _, c := range clients {
+		k.net.Send(t, k.node, c, k.tm.MsgHeader, &HomeUnmapReq{Page: g})
+	}
+	return nil
+}
+
+func (k *Kernel) handleHomeUnmapReq(src mem.NodeID, m *HomeUnmapReq) {
+	g := m.Page
+	// Reset the flag regardless (§3.3: "when the home node unmaps a
+	// page, it requests all client nodes to reset that page's flag").
+	delete(k.homeStatus, g)
+	delete(k.homeFrameHint, g)
+	delete(k.dynHomeHint, g)
+
+	ack := func(at sim.Time) {
+		k.net.Send(at, k.node, src, k.tm.MsgHeader, &HomeUnmapAck{Page: g})
+	}
+
+	f, ok := k.ctrl.PIT.FrameFor(g)
+	if !ok {
+		ack(k.e.Now())
+		return
+	}
+	fb := k.frames[f]
+	if fb == nil || fb.busy {
+		ack(k.e.Now())
+		return
+	}
+	if fb.client {
+		k.pageOutClient(f, false, ack)
+	} else if f >= imagBase {
+		k.ReleaseLANUMA(f, pit.ModeLANUMA, ack)
+	} else {
+		ack(k.e.Now())
+	}
+}
+
+func (k *Kernel) handleHomeUnmapAck(src mem.NodeID, m *HomeUnmapAck) {
+	txn := k.unmapWait[m.Page]
+	if txn == nil {
+		return
+	}
+	txn.needAcks--
+	if txn.needAcks == 0 {
+		delete(k.unmapWait, m.Page)
+		txn.done(k.e.Now())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+// RealFramesInUse returns the number of live real frames.
+func (k *Kernel) RealFramesInUse() int { return k.realInUse }
+
+// MaxClientSCOMA returns the high-water count of client S-COMA frames
+// — the per-node quantity SCOMA-70's page cache is sized from.
+func (k *Kernel) MaxClientSCOMA() int { return k.clientSCOMAHigh }
+
+// PageModeOf returns the page's sticky mode at this node (ModeInvalid
+// means unset — S-COMA preferred).
+func (k *Kernel) PageModeOf(g mem.GPage) pit.Mode { return k.pageMode[g] }
+
+// SetPageMode pins a page's mode at this node (the user-facing system
+// call of §3.3 "Page Mode Binding": the OS also provides a system call
+// for the user to suggest the desired mode).
+func (k *Kernel) SetPageMode(g mem.GPage, m pit.Mode) {
+	if m == pit.ModeSCOMA {
+		delete(k.pageMode, g)
+	} else {
+		k.pageMode[g] = m
+	}
+}

@@ -1,0 +1,33 @@
+package kernel
+
+import "prism/internal/mem"
+
+// PageInReq asks a page's home to ensure the page is in-core at the
+// home and to register the sender as a client (§3.3 External Paging).
+// Keeping the page in-core at the home while clients map it guarantees
+// a client cache miss can never trigger a page fault at a remote node,
+// which would risk bus timeouts and paging deadlocks.
+type PageInReq struct {
+	Page mem.GPage
+}
+
+// PageInResp answers a PageInReq with the page's frame number at the
+// home (the client's reverse-translation hint) and the current dynamic
+// home (usually the static home; differs after a migration).
+type PageInResp struct {
+	Page      mem.GPage
+	HomeFrame mem.FrameID
+	DynHome   mem.NodeID
+}
+
+// HomeUnmapReq is sent by a home that wants to page out one of its
+// pages: every known client must page out its copy and reset its
+// home-page-status flag before the home may proceed.
+type HomeUnmapReq struct {
+	Page mem.GPage
+}
+
+// HomeUnmapAck confirms the client has dropped the page.
+type HomeUnmapAck struct {
+	Page mem.GPage
+}

@@ -1,0 +1,256 @@
+// Package latency measures the Table 1 microbenchmark: uncontended
+// cache-miss latencies and paging overheads on an otherwise idle
+// machine. The prober scripts specific processors through state setup
+// (e.g. "modify this line at a third node") and measures single
+// accesses by differencing the acting processor's local clock.
+package latency
+
+import (
+	"fmt"
+	"strings"
+
+	"prism/internal/core"
+	"prism/internal/mem"
+	"prism/internal/sim"
+)
+
+// Row is one Table 1 entry.
+type Row struct {
+	Name     string
+	Paper    sim.Time // the paper's reported value
+	Measured sim.Time
+}
+
+// Rows of Table 1, in order. The (3+n)-party row is reported for
+// n = 0..2 to expose the +80n slope.
+var paperRows = []struct {
+	name  string
+	paper sim.Time
+}{
+	{"L1 miss, L2 hit", 12},
+	{"Uncached, line in local memory", 36},
+	{"Uncached, line in remote memory", 573},
+	{"2-party read/write to a modified line", 608},
+	{"3-party read/write to a modified line", 866},
+	{"2-party write to shared line", 608},
+	{"3-party write to shared line (n=0)", 1142},
+	{"4-party write to shared line (n=1)", 1222},
+	{"5-party write to shared line (n=2)", 1302},
+	{"TLB miss", 30},
+	{"In-core page fault, local home", 2300},
+	{"In-core page fault, remote home", 4400},
+}
+
+// Measure runs the microbenchmark on a machine built from cfg and
+// returns the rows. cfg must have at least 6 nodes.
+func Measure(cfg core.Config) ([]Row, error) {
+	if cfg.Nodes < 6 {
+		return nil, fmt.Errorf("latency: need ≥6 nodes, have %d", cfg.Nodes)
+	}
+	w := &prober{cfg: cfg}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Run(w); err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(paperRows))
+	for i, pr := range paperRows {
+		rows[i] = Row{Name: pr.name, Paper: pr.paper, Measured: w.measured[i]}
+	}
+	return rows, nil
+}
+
+// Format renders rows as the Table 1 report.
+func Format(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %8s %9s %7s\n", "Memory Access Type", "paper", "measured", "ratio")
+	for _, r := range rows {
+		ratio := float64(r.Measured) / float64(r.Paper)
+		fmt.Fprintf(&b, "%-42s %8d %9d %7.2f\n", r.Name, r.Paper, r.Measured, ratio)
+	}
+	return b.String()
+}
+
+// prober is the scripted workload.
+type prober struct {
+	cfg      core.Config
+	m        *core.Machine
+	seg      mem.VAddr
+	measured [12]sim.Time
+
+	// pages[i] is the base address of the i-th page of the segment.
+	pageHome []mem.NodeID
+}
+
+func (w *prober) Name() string { return "latency-prober" }
+
+// Setup allocates the probe segment and records each page's home.
+func (w *prober) Setup(m *core.Machine) error {
+	w.m = m
+	const pages = 256
+	a, err := m.Alloc("lat.data", uint64(pages*w.cfg.Geometry.PageSize))
+	if err != nil {
+		return err
+	}
+	w.seg = a
+	gs := a.VSID()
+	_ = gs
+	w.pageHome = make([]mem.NodeID, pages)
+	// Recover the GSID through the registry (segment was just made).
+	seg, err := m.Reg.Shmget("lat.data", uint64(pages*w.cfg.Geometry.PageSize))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < pages; i++ {
+		w.pageHome[i] = m.Reg.StaticHome(mem.GPage{Seg: seg.GSID, Page: uint32(i)})
+	}
+	return nil
+}
+
+// pageAt returns the base address of the idx-th (0-based) unused page
+// homed at node, consuming it from the pool.
+func (w *prober) pageHomedAt(node mem.NodeID, skip int) mem.VAddr {
+	seen := 0
+	for i := range w.pageHome {
+		if w.pageHome[i] == node {
+			if seen == skip {
+				return w.seg + mem.VAddr(i*w.cfg.Geometry.PageSize)
+			}
+			seen++
+		}
+	}
+	panic("latency: ran out of probe pages")
+}
+
+func (w *prober) line(page mem.VAddr, ln int) mem.VAddr {
+	return page + mem.VAddr(ln*w.cfg.Geometry.LineSize)
+}
+
+// Run is the script. Processor 0 (node 0) measures; helpers on other
+// nodes set up line states. Steps are sequenced with barriers.
+func (w *prober) Run(ctx *core.Ctx) {
+	p := ctx.P
+	ppn := w.cfg.Node.Procs
+	isP0 := ctx.ID == 0
+	node := mem.NodeID(ctx.ID / ppn)
+	lead := ctx.ID%ppn == 0
+
+	meas := func(fn func()) sim.Time {
+		// Let in-flight traffic (barrier release reloads from the
+		// other 31 processors) drain so the measurement is
+		// uncontended, as Table 1 specifies.
+		p.Compute(20000)
+		t0 := p.Now()
+		fn()
+		return p.Now() - t0 - w.cfg.Timing.L1Hit
+	}
+	bar := func(id int) { p.Barrier(id) }
+
+	local := w.pageHomedAt(0, 0)  // homed at node 0 (P0's node)
+	remote := w.pageHomedAt(1, 0) // homed at node 1
+	freshL := w.pageHomedAt(0, 1) // fresh local page for the fault row
+	freshR := w.pageHomedAt(1, 1) // fresh remote page for the fault row
+
+	// -- Row 0/1: L1-miss/L2-hit and local-memory latency -------------
+	if isP0 {
+		p.Read(w.line(local, 0)) // map the page; warm TLB
+		w.measured[1] = meas(func() { p.Read(w.line(local, 1)) })
+		// Line 1 now in L1+L2. Evict it from L1 with a same-set line.
+		conflict := w.line(local, 1) + mem.VAddr(w.cfg.Node.L1.Size)
+		p.Read(conflict)
+		w.measured[0] = meas(func() { p.Read(w.line(local, 1)) })
+	}
+	bar(1)
+
+	// -- Row 2: clean remote fetch -------------------------------------
+	if isP0 {
+		p.Read(w.line(remote, 0)) // fault + map
+		w.measured[2] = meas(func() { p.Read(w.line(remote, 1)) })
+	}
+	bar(2)
+
+	// -- Row 3: 2-party read to a line modified at its home ------------
+	if node == 1 && lead {
+		p.Write(w.line(remote, 2)) // home processor dirties it
+	}
+	bar(3)
+	if isP0 {
+		w.measured[3] = meas(func() { p.Read(w.line(remote, 2)) })
+	}
+	bar(4)
+
+	// -- Row 4: 3-party read to a line modified at a third node --------
+	if node == 2 && lead {
+		p.Write(w.line(remote, 3))
+	}
+	bar(5)
+	if isP0 {
+		w.measured[4] = meas(func() { p.Read(w.line(remote, 3)) })
+	}
+	bar(6)
+
+	// -- Row 5: 2-party write to a shared line -------------------------
+	if isP0 {
+		p.Read(w.line(remote, 4)) // share it (home + node0)
+		w.measured[5] = meas(func() { p.Write(w.line(remote, 4)) })
+	}
+	bar(7)
+
+	// -- Rows 6-8: (3+n)-party write to a shared line ------------------
+	for n := 0; n <= 2; n++ {
+		ln := 5 + n
+		// 1+n client sharers on nodes 2..2+n.
+		if lead && node >= 2 && int(node) <= 2+n {
+			p.Read(w.line(remote, ln))
+		}
+		bar(8 + n*3)
+		if isP0 {
+			p.Read(w.line(remote, ln)) // requester shares it too
+		}
+		bar(9 + n*3)
+		if isP0 {
+			w.measured[6+n] = meas(func() { p.Write(w.line(remote, ln)) })
+		}
+		bar(10 + n*3)
+	}
+
+	// -- Row 9: TLB miss ------------------------------------------------
+	if isP0 {
+		// Touch TLBEntries+8 pages of the private segment to evict the
+		// local page's TLB entry, then re-access a line of it that has
+		// been pushed to L2 (so the delta is TLBMiss + L2Hit).
+		target := w.line(local, 1)
+		p.Read(target)
+		for i := 0; i < w.cfg.Node.TLBEntries+8; i++ {
+			p.Read(ctx.PrivateBase() + mem.VAddr(i*w.cfg.Geometry.PageSize))
+		}
+		// The flood touches only two L1 sets (page-stride aliasing),
+		// so the target stays cached and the delta is the pure TLB
+		// reload.
+		w.measured[9] = meas(func() { p.Read(target) })
+	}
+	bar(40)
+
+	// -- Row 10: in-core page fault, local home -------------------------
+	if isP0 {
+		d := meas(func() { p.Read(w.line(freshL, 0)) })
+		// Remove the TLB-reload and memory-access components.
+		d -= w.cfg.Timing.TLBMiss + w.measured[1]
+		w.measured[10] = d
+	}
+	bar(41)
+
+	// -- Row 11: in-core page fault, remote home ------------------------
+	if node == 1 && lead {
+		p.Read(w.line(freshR, 0)) // home maps the page (in-core at home)
+	}
+	bar(42)
+	if isP0 {
+		d := meas(func() { p.Read(w.line(freshR, 0)) })
+		d -= w.cfg.Timing.TLBMiss + w.measured[3] // access finds it modified at home
+		w.measured[11] = d
+	}
+	bar(43)
+}

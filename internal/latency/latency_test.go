@@ -1,0 +1,20 @@
+package latency
+
+import (
+	"testing"
+
+	"prism/internal/core"
+)
+
+func TestMeasureRuns(t *testing.T) {
+	rows, err := Measure(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Format(rows))
+	for _, r := range rows {
+		if r.Measured == 0 {
+			t.Errorf("%s: zero measurement", r.Name)
+		}
+	}
+}

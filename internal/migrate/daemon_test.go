@@ -1,0 +1,140 @@
+package migrate
+
+import (
+	"testing"
+
+	"prism/internal/core"
+	"prism/internal/mem"
+	"prism/internal/policy"
+)
+
+// skew makes node 3's processors hammer every shared page.
+type skew struct {
+	base mem.VAddr
+	n    int
+}
+
+func (w *skew) Name() string { return "skew" }
+func (w *skew) Setup(m *core.Machine) error {
+	w.n = 32 << 10
+	b, err := m.Alloc("skew.d", uint64(w.n))
+	w.base = b
+	return err
+}
+func (w *skew) Run(ctx *core.Ctx) {
+	p := ctx.P
+	chunk := w.n / ctx.N
+	p.WriteRange(w.base+mem.VAddr(ctx.ID*chunk), chunk)
+	p.Barrier(1)
+	p.ReadRange(w.base, w.n)
+	p.Barrier(2)
+	if p.Node().ID == 3 {
+		for i := 0; i < 10; i++ {
+			p.WriteRange(w.base, w.n)
+		}
+	}
+}
+
+func build(t *testing.T) *core.Machine {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Node.Procs = 2
+	cfg.Kernel.RealFrames = 4096
+	cfg.Policy = policy.LANUMA{}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDaemonMigratesHotPages(t *testing.T) {
+	m := build(t)
+	d := Attach(m, 20_000, Policy{MinTraffic: 32, Fraction: 0.6, MaxPerScan: 8})
+	if _, err := m.Run(&skew{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Scans == 0 {
+		t.Fatal("daemon never scanned")
+	}
+	if d.Stats.Requested == 0 {
+		t.Fatal("daemon migrated nothing despite a dominated pattern")
+	}
+	if m.Reg.MigratedPages() == 0 {
+		t.Fatal("no pages recorded as migrated")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after daemon migrations: %v", err)
+	}
+}
+
+func TestDaemonImprovesSkewedRun(t *testing.T) {
+	run := func(daemon bool) uint64 {
+		m := build(t)
+		if daemon {
+			Attach(m, 20_000, Policy{MinTraffic: 32, Fraction: 0.6, MaxPerScan: 8})
+		}
+		res, err := m.Run(&skew{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RemoteMisses
+	}
+	fixed := run(false)
+	migr := run(true)
+	if migr >= fixed {
+		t.Errorf("migration did not reduce remote misses: %d >= %d", migr, fixed)
+	}
+}
+
+func TestDaemonStop(t *testing.T) {
+	m := build(t)
+	d := Attach(m, 10_000, DefaultPolicy)
+	d.Stop()
+	if _, err := m.Run(&skew{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Scans != 0 {
+		t.Errorf("stopped daemon scanned %d times", d.Stats.Scans)
+	}
+}
+
+func TestDaemonDeterminism(t *testing.T) {
+	run := func() uint64 {
+		m := build(t)
+		Attach(m, 20_000, DefaultPolicy)
+		res, err := m.Run(&skew{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(res.Cycles)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic with daemon: %d vs %d", a, b)
+	}
+}
+
+func TestDaemonUnderProtocolFuzz(t *testing.T) {
+	// Aggressive migration underneath paging churn: the harshest
+	// combination of mechanisms, audited by the invariant checker.
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Node.Procs = 2
+	cfg.Node.L1.Size = 1 << 10
+	cfg.Node.L2.Size = 2 << 10
+	cfg.Kernel.RealFrames = 4096
+	cfg.Policy = policy.DynLRU{}
+	cfg.PageCacheCaps = []int{4, 4, 4, 4}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(m, 15_000, Policy{MinTraffic: 16, Fraction: 0.5, MaxPerScan: 16})
+	if _, err := m.Run(core.ChaosWorkload(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package node assembles one PRISM node: four processors with private
+// L1/L2 caches and TLBs, the split-transaction memory bus with
+// snooping, local DRAM, the coherence controller and the kernel. It
+// implements the bus-side dispatch of Figure 4: every transaction is
+// classified by its frame's mode (Local / S-COMA / LA-NUMA) and either
+// satisfied locally or handed to the controller's client side.
+package node
+
+import (
+	"fmt"
+
+	"prism/internal/cache"
+	"prism/internal/coherence"
+	"prism/internal/directory"
+	"prism/internal/kernel"
+	"prism/internal/mem"
+	"prism/internal/network"
+	"prism/internal/pit"
+	"prism/internal/sim"
+	"prism/internal/timing"
+)
+
+// Config sizes a node's processors and caches.
+type Config struct {
+	Procs      int
+	L1         cache.Config
+	L2         cache.Config
+	TLBEntries int
+	// Quantum bounds how far a processor's local clock may run ahead
+	// of the global clock between yields (Augmint-style loose
+	// synchronization).
+	Quantum sim.Time
+	// PITConfig and DirConfig parameterize the controller structures.
+	PITConfig pit.Config
+	DirConfig directory.Config
+	CtrlCfg   coherence.Config
+}
+
+// DefaultConfig matches the paper's per-node hardware with the scaled
+// (capacity-exposing) cache sizes of §4.1.
+func DefaultConfig(geom mem.Geometry) Config {
+	return Config{
+		Procs:      4,
+		L1:         cache.Config{Size: 8 << 10, Ways: 1, LineSize: geom.LineSize},
+		L2:         cache.Config{Size: 32 << 10, Ways: 4, LineSize: geom.LineSize},
+		TLBEntries: 64,
+		Quantum:    400,
+		PITConfig:  pit.DefaultConfig,
+		DirConfig:  directory.DefaultConfig,
+	}
+}
+
+// Node is one compute node.
+type Node struct {
+	ID   mem.NodeID
+	e    *sim.Engine
+	geom mem.Geometry
+	tm   *timing.T
+
+	Procs []*Proc
+	Ctrl  *coherence.Controller
+	Kern  *kernel.Kernel
+
+	addrBus sim.Resource
+	dataBus sim.Resource
+	memRes  sim.Resource
+}
+
+// New builds a node and its controller, binding the kernel to both.
+// The kernel must already exist (it and the controller are mutually
+// referential).
+func New(e *sim.Engine, id mem.NodeID, geom mem.Geometry, tm *timing.T, cfg Config,
+	net *network.Network, router coherence.HomeRouter, kern *kernel.Kernel) *Node {
+
+	n := &Node{ID: id, e: e, geom: geom, tm: tm, Kern: kern}
+	n.addrBus.Name = fmt.Sprintf("node%d.abus", id)
+	n.dataBus.Name = fmt.Sprintf("node%d.dbus", id)
+	n.memRes.Name = fmt.Sprintf("node%d.mem", id)
+
+	p := pit.New(id, geom, cfg.PITConfig)
+	d := directory.New(id, geom, cfg.DirConfig)
+	n.Ctrl = coherence.New(e, id, geom, tm, cfg.CtrlCfg, p, d, net, &n.memRes, n, router, kern)
+	kern.Bind(n.Ctrl, n)
+
+	for i := 0; i < cfg.Procs; i++ {
+		pid := mem.ProcID(int(id)*cfg.Procs + i)
+		pr := &Proc{
+			ID:      pid,
+			n:       n,
+			coro:    sim.NewCoro(fmt.Sprintf("node%d.cpu%d", id, i)),
+			l1:      cache.New(fmt.Sprintf("n%dp%d.L1", id, i), cfg.L1),
+			l2:      cache.New(fmt.Sprintf("n%dp%d.L2", id, i), cfg.L2),
+			tlb:     newTLB(cfg.TLBEntries),
+			quantum: cfg.Quantum,
+		}
+		n.Procs = append(n.Procs, pr)
+	}
+	return n
+}
+
+// Deliver implements network.Handler: coherence traffic goes to the
+// controller, paging traffic to the kernel.
+func (n *Node) Deliver(src mem.NodeID, msg network.Message) {
+	if n.Ctrl.Deliver(src, msg) {
+		return
+	}
+	if n.Kern.Deliver(src, msg) {
+		return
+	}
+	panic(fmt.Sprintf("node %d: unroutable message %T from %d", n.ID, msg, src))
+}
+
+// busTransaction arbitrates, snoops and dispatches one L2 miss or
+// upgrade. It runs in engine context at the requester's local time and
+// calls resume(t, retranslate) when the access completes; retranslate
+// is true when the frame vanished mid-flight (a page migration
+// replaced it) and the processor must redo its translation.
+func (n *Node) busTransaction(p *Proc, la mem.PAddr, write bool, resume func(at sim.Time, retranslate bool)) {
+	t := n.e.Now()
+	grant := n.addrBus.Acquire(t, n.tm.BusArb+n.tm.BusAddr)
+	t = grant + n.tm.BusArb + n.tm.BusAddr
+
+	f := la.Frame(n.geom)
+	ln := la.Line(n.geom)
+	ent, pitCost := n.Ctrl.PIT.Lookup(f)
+	t += pitCost
+	if ent == nil || !ent.Valid() {
+		// The frame was unbound between the processor's translation
+		// and this transaction (page-out or migration): retry through
+		// the TLB.
+		n.e.At(t, func() { resume(t, true) })
+		return
+	}
+
+	// Snoop the other processors. Effects are applied immediately:
+	// writes invalidate local copies, reads downgrade them.
+	snoopSt, snoopDirty := n.snoop(p, la, write)
+
+	localOK := false
+	switch ent.Mode {
+	case pit.ModeLocal:
+		localOK = true
+	case pit.ModeSCOMA:
+		tag := ent.Tags[ln]
+		if write {
+			localOK = tag == pit.TagExclusive || snoopSt >= cache.Exclusive
+		} else {
+			localOK = tag == pit.TagExclusive || tag == pit.TagShared || snoopSt != cache.Invalid
+		}
+	case pit.ModeLANUMA:
+		if write {
+			localOK = snoopSt >= cache.Exclusive
+		} else {
+			localOK = snoopSt != cache.Invalid
+		}
+	default:
+		panic(fmt.Sprintf("node %d: processor access to %v frame %d", n.ID, ent.Mode, f))
+	}
+
+	n.Ctrl.PIT.Touch(f, ln, t, false)
+
+	if localOK {
+		if snoopSt != cache.Invalid {
+			// Cache-to-cache intervention.
+			t += n.tm.Interv
+			if snoopDirty && !write {
+				// Read intervention on a dirty line: the data is also
+				// written back (locally for S-COMA/Local frames,
+				// to the home for LA-NUMA frames).
+				n.Ctrl.ClientWriteback(f, ln, ent)
+			}
+		} else {
+			t = n.memRes.Acquire(t, n.tm.MemRead) + n.tm.MemRead
+		}
+		t = n.dataBus.Acquire(t, n.tm.BusData) + n.tm.BusData
+
+		st := cache.Shared
+		switch {
+		case write:
+			st = cache.Modified
+		case snoopSt != cache.Invalid:
+			st = cache.Shared
+		case ent.Mode == pit.ModeLocal:
+			st = cache.Exclusive
+		case ent.Mode == pit.ModeSCOMA && ent.Tags[ln] == pit.TagExclusive:
+			st = cache.Exclusive
+		}
+		n.finishFill(p, la, st, t, resume)
+		return
+	}
+
+	// Remote: hand to the controller's client side.
+	gp := ent.GPage
+	fill := func(at sim.Time, excl, fault bool) {
+		if fault {
+			p.Stats.AccessFaults++
+			resume(at, false)
+			return
+		}
+		if cur := n.Ctrl.PIT.Entry(f); cur == nil || !cur.Valid() || cur.GPage != gp {
+			// The frame was repurposed while the fetch was in flight
+			// (migration replaced the mapping): don't insert stale
+			// state; let the processor retranslate.
+			resume(at, true)
+			return
+		}
+		st := cache.Shared
+		if write {
+			st = cache.Modified
+		} else if excl {
+			st = cache.Exclusive
+		}
+		done := n.dataBus.Acquire(at, n.tm.BusData) + n.tm.BusData
+		n.finishFill(p, la, st, done, resume)
+	}
+	retry := func(at sim.Time) {
+		n.e.At(at, func() { n.busTransaction(p, la, write, resume) })
+	}
+	n.Ctrl.ClientFetch(t, f, ln, write, ent, fill, retry)
+}
+
+// snoop probes every other processor's caches for la, applying
+// invalidations (write) or downgrades (read). It returns the strongest
+// state found and whether any copy was Modified.
+func (n *Node) snoop(requester *Proc, la mem.PAddr, write bool) (cache.State, bool) {
+	best := cache.Invalid
+	dirty := false
+	for _, q := range n.Procs {
+		if q == requester {
+			continue
+		}
+		s1 := q.l1.Probe(la)
+		s2 := q.l2.Probe(la)
+		st := s1
+		if s2 > st {
+			st = s2
+		}
+		if st == cache.Invalid {
+			continue
+		}
+		if st > best {
+			best = st
+		}
+		if s1 == cache.Modified || s2 == cache.Modified {
+			dirty = true
+		}
+		if write {
+			q.l1.Invalidate(la)
+			q.l2.Invalidate(la)
+		} else {
+			if s1 > cache.Shared {
+				q.l1.SetState(la, cache.Shared)
+			}
+			if s2 > cache.Shared {
+				q.l2.SetState(la, cache.Shared)
+			}
+		}
+	}
+	return best, dirty
+}
+
+// finishFill inserts the line into the requester's caches (handling
+// victims and their writebacks) and resumes it at time t.
+func (n *Node) finishFill(p *Proc, la mem.PAddr, st cache.State, t sim.Time, resume func(at sim.Time, retranslate bool)) {
+	v2 := p.l2.Insert(la, st)
+	if v2.Valid {
+		l1st := p.l1.Invalidate(v2.Addr)
+		if v2.Dirty || l1st == cache.Modified {
+			vf := v2.Addr.Frame(n.geom)
+			if vent := n.Ctrl.PIT.Entry(vf); vent != nil && vent.Valid() {
+				n.Ctrl.ClientWriteback(vf, v2.Addr.Line(n.geom), vent)
+			}
+		}
+	}
+	l1st := st
+	if l1st == cache.Modified {
+		// L1 takes the dirty data; L2 keeps Modified too (the L1 copy
+		// is the freshest, merged on L1 eviction).
+	}
+	v1 := p.l1.Insert(la, l1st)
+	if v1.Valid && v1.Dirty {
+		// Dirty L1 victim folds into L2 under inclusion.
+		p.l2.SetState(v1.Addr, cache.Modified)
+	}
+	n.e.At(t, func() { resume(t, false) })
+}
+
+// Retrieve implements coherence.Local: a controller-initiated bus
+// transaction that collects the latest copy of la from the processor
+// caches, downgrading or invalidating them.
+func (n *Node) Retrieve(pa mem.PAddr, inval bool, done func(at sim.Time, dirty bool)) {
+	t := n.e.Now()
+	grant := n.addrBus.Acquire(t, n.tm.BusArb+n.tm.BusAddr)
+	t = grant + n.tm.BusArb + n.tm.BusAddr
+
+	dirty := false
+	found := false
+	for _, q := range n.Procs {
+		s1 := q.l1.Probe(pa)
+		s2 := q.l2.Probe(pa)
+		if s1 == cache.Invalid && s2 == cache.Invalid {
+			continue
+		}
+		found = true
+		if s1 == cache.Modified || s2 == cache.Modified {
+			dirty = true
+		}
+		if inval {
+			q.l1.Invalidate(pa)
+			q.l2.Invalidate(pa)
+		} else {
+			if s1 > cache.Shared {
+				q.l1.SetState(pa, cache.Shared)
+			}
+			if s2 > cache.Shared {
+				q.l2.SetState(pa, cache.Shared)
+			}
+		}
+	}
+	if found {
+		t += n.tm.Interv
+	}
+	if dirty {
+		t = n.dataBus.Acquire(t, n.tm.BusData) + n.tm.BusData
+	}
+	n.e.At(t, func() { done(t, dirty) })
+}
+
+// InvalidateFrameLines implements coherence.Local: bulk-invalidate
+// every cached line of frame f, returning the dirty line indexes.
+func (n *Node) InvalidateFrameLines(f mem.FrameID) []int {
+	dirty := make(map[int]bool)
+	for _, q := range n.Procs {
+		for _, pa := range q.l1.InvalidateFrame(n.geom, f) {
+			dirty[pa.Line(n.geom)] = true
+		}
+		for _, pa := range q.l2.InvalidateFrame(n.geom, f) {
+			dirty[pa.Line(n.geom)] = true
+		}
+	}
+	out := make([]int, 0, len(dirty))
+	for ln := 0; ln < n.geom.LinesPerPage(); ln++ {
+		if dirty[ln] {
+			out = append(out, ln)
+		}
+	}
+	return out
+}
+
+// TLBShootdown implements kernel.NodeHW: invalidate vp in every local
+// TLB (never cross-node — PRISM's translations are node-private).
+func (n *Node) TLBShootdown(vp mem.VPage) {
+	for _, q := range n.Procs {
+		q.tlb.invalidate(vp)
+	}
+}
+
+// MemResource exposes the DRAM occupancy model (for stats).
+func (n *Node) MemResource() *sim.Resource { return &n.memRes }
+
+// BusResources exposes the bus occupancy models (for stats).
+func (n *Node) BusResources() (addr, data *sim.Resource) { return &n.addrBus, &n.dataBus }

@@ -1,0 +1,397 @@
+package node
+
+import (
+	"fmt"
+
+	"prism/internal/cache"
+	"prism/internal/mem"
+	"prism/internal/sim"
+)
+
+// ProcStats counts one processor's activity.
+type ProcStats struct {
+	Reads        uint64
+	Writes       uint64
+	L1Misses     uint64
+	L2Misses     uint64 // bus transactions
+	Upgrades     uint64
+	TLBMisses    uint64
+	PageFaults   uint64
+	AccessFaults uint64 // firewall-rejected accesses
+	SyncOps      uint64
+	StallCycles  sim.Time
+	BusyCycles   sim.Time // compute + hit time
+}
+
+// Refs returns total memory references.
+func (s *ProcStats) Refs() uint64 { return s.Reads + s.Writes }
+
+// Reset zeroes the counters.
+func (s *ProcStats) Reset() { *s = ProcStats{} }
+
+// Tracer observes every memory reference a processor issues. Set one
+// with Proc.SetTracer (usually via core.Machine.SetTracer) to collect
+// reference traces; nil (the default) costs nothing.
+type Tracer interface {
+	Ref(p mem.ProcID, va mem.VAddr, write bool, at sim.Time)
+}
+
+// Proc is one simulated processor. Workload code runs on the
+// processor's coroutine and calls Read/Write/Compute/Barrier/Lock;
+// everything else is timing model.
+type Proc struct {
+	ID mem.ProcID
+
+	n       *Node
+	coro    *sim.Coro
+	l1, l2  *cache.Cache
+	tlb     *tlb
+	now     sim.Time
+	quantum sim.Time
+	tracer  Tracer
+
+	// Sync is the machine-wide synchronization domain (set by core).
+	Sync *SyncDomain
+
+	Stats ProcStats
+}
+
+// SetTracer installs (or clears, with nil) a reference tracer.
+func (p *Proc) SetTracer(t Tracer) { p.tracer = t }
+
+// Node returns the processor's node.
+func (p *Proc) Node() *Node { return p.n }
+
+// Coro exposes the coroutine context (used by core to start/step).
+func (p *Proc) Coro() *sim.Coro { return p.coro }
+
+// Now returns the processor's local clock.
+func (p *Proc) Now() sim.Time { return p.now }
+
+// AdvanceTo moves the local clock forward to at (never backward).
+// Engine-context callers use it before Step when resuming a processor
+// they blocked.
+func (p *Proc) AdvanceTo(at sim.Time) {
+	if at > p.now {
+		p.now = at
+	}
+}
+
+// L1 and L2 expose the caches for statistics.
+func (p *Proc) L1() *cache.Cache { return p.l1 }
+
+// L2 returns the second-level cache.
+func (p *Proc) L2() *cache.Cache { return p.l2 }
+
+// Compute advances the local clock by c cycles of processor-internal
+// work (the instruction stream between memory references).
+func (p *Proc) Compute(c sim.Time) {
+	p.now += c
+	p.Stats.BusyCycles += c
+	p.maybeYield()
+}
+
+// Read issues a load to virtual address va.
+func (p *Proc) Read(va mem.VAddr) {
+	p.Stats.Reads++
+	p.access(va, false)
+}
+
+// Write issues a store to virtual address va.
+func (p *Proc) Write(va mem.VAddr) {
+	p.Stats.Writes++
+	p.access(va, true)
+}
+
+// ReadRange touches every cache line in [va, va+bytes).
+func (p *Proc) ReadRange(va mem.VAddr, bytes int) {
+	ls := p.n.geom.LineSize
+	for off := 0; off < bytes; off += ls {
+		p.Read(va + mem.VAddr(off))
+	}
+}
+
+// WriteRange touches every cache line in [va, va+bytes) with stores.
+func (p *Proc) WriteRange(va mem.VAddr, bytes int) {
+	ls := p.n.geom.LineSize
+	for off := 0; off < bytes; off += ls {
+		p.Write(va + mem.VAddr(off))
+	}
+}
+
+// Barrier joins machine-wide barrier id (workload context).
+func (p *Proc) Barrier(id int) {
+	p.Stats.SyncOps++
+	p.Sync.Barrier(p, id)
+}
+
+// Lock acquires machine-wide lock id.
+func (p *Proc) Lock(id int) {
+	p.Stats.SyncOps++
+	p.Sync.Lock(p, id)
+}
+
+// Unlock releases machine-wide lock id.
+func (p *Proc) Unlock(id int) {
+	p.Sync.Unlock(p, id)
+}
+
+// maybeYield bounds clock skew: if the processor has run more than a
+// quantum ahead of global time it waits for the engine to catch up.
+func (p *Proc) maybeYield() {
+	if p.now > p.n.e.Now()+p.quantum {
+		p.coro.WaitUntil(p.n.e, p.now)
+	}
+}
+
+// access is the full reference path: TLB → L1 → L2 → bus. The outer
+// loop retries from translation when a bus transaction reports that
+// the frame vanished mid-flight (page migration or page-out).
+func (p *Proc) access(va mem.VAddr, write bool) {
+	if p.tracer != nil {
+		p.tracer.Ref(p.ID, va, write, p.now)
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			panic(fmt.Sprintf("proc %d: access to %v cannot settle", p.ID, va))
+		}
+		if !p.accessOnce(va, write) {
+			return
+		}
+	}
+}
+
+// accessOnce performs one attempt; it reports whether the access must
+// be retried from translation.
+func (p *Proc) accessOnce(va mem.VAddr, write bool) (retranslate bool) {
+	g := p.n.geom
+	tm := p.n.tm
+	p.now += tm.L1Hit
+	p.Stats.BusyCycles += tm.L1Hit
+	p.maybeYield()
+
+	vp := va.Page(g)
+	f, ok := p.tlb.lookup(vp)
+	if !ok {
+		pte, mapped := p.n.Kern.PTE(vp)
+		if !mapped {
+			p.Stats.PageFaults++
+			p.fault(vp)
+			pte, mapped = p.n.Kern.PTE(vp)
+			if !mapped {
+				panic(fmt.Sprintf("proc %d: segmentation fault at %v", p.ID, va))
+			}
+		}
+		p.Stats.TLBMisses++
+		p.now += tm.TLBMiss
+		p.Stats.StallCycles += tm.TLBMiss
+		p.tlb.insert(vp, pte.Frame)
+		f = pte.Frame
+	}
+
+	la := mem.NewPAddr(g, f, va.PageOffset(g)).LineAddr(g)
+
+	switch p.l1.Access(la, write) {
+	case cache.Hit:
+		return
+	case cache.HitUpgrade:
+		// Write to a Shared L1 line: resolve through L2.
+		if p.l2.Probe(la).Writable() {
+			p.now += tm.L2Hit
+			p.Stats.StallCycles += tm.L2Hit
+			p.l2.SetState(la, cache.Modified)
+			p.l1.SetState(la, cache.Modified)
+			return
+		}
+		p.Stats.Upgrades++
+		return p.busAccess(la, true)
+	case cache.Miss:
+		p.Stats.L1Misses++
+	}
+
+	switch p.l2.Access(la, write) {
+	case cache.Hit:
+		p.now += tm.L2Hit
+		p.Stats.StallCycles += tm.L2Hit
+		st := cache.Shared
+		switch p.l2.Probe(la) {
+		case cache.Modified, cache.Exclusive:
+			if write {
+				st = cache.Modified
+			} else {
+				st = cache.Exclusive
+			}
+		}
+		if write {
+			p.l2.SetState(la, cache.Modified)
+			st = cache.Modified
+		}
+		v := p.l1.Insert(la, st)
+		if v.Valid && v.Dirty {
+			p.l2.SetState(v.Addr, cache.Modified)
+		}
+		return
+	case cache.HitUpgrade:
+		p.Stats.Upgrades++
+		return p.busAccess(la, true)
+	case cache.Miss:
+		p.Stats.L2Misses++
+		return p.busAccess(la, write)
+	}
+	return false
+}
+
+// busAccess blocks the processor on a bus transaction. It reports
+// whether the access must be retried from translation (the frame
+// vanished under a page migration or page-out).
+func (p *Proc) busAccess(la mem.PAddr, write bool) (retranslate bool) {
+	start := p.now
+	var retr bool
+	p.n.e.At(p.now, func() {
+		p.n.busTransaction(p, la, write, func(at sim.Time, r bool) {
+			p.now = at
+			retr = r
+			p.coro.Step()
+		})
+	})
+	p.coro.Block()
+	p.Stats.StallCycles += p.now - start
+	return retr
+}
+
+// translate resolves va to a frame, taking TLB misses and page faults
+// like a normal access (shared by the hardware-lock path).
+func (p *Proc) translate(va mem.VAddr) mem.FrameID {
+	g := p.n.geom
+	tm := p.n.tm
+	vp := va.Page(g)
+	f, ok := p.tlb.lookup(vp)
+	if ok {
+		return f
+	}
+	pte, mapped := p.n.Kern.PTE(vp)
+	if !mapped {
+		p.Stats.PageFaults++
+		p.fault(vp)
+		pte, mapped = p.n.Kern.PTE(vp)
+		if !mapped {
+			panic(fmt.Sprintf("proc %d: segmentation fault at %v", p.ID, va))
+		}
+	}
+	p.Stats.TLBMisses++
+	p.now += tm.TLBMiss
+	p.Stats.StallCycles += tm.TLBMiss
+	p.tlb.insert(vp, pte.Frame)
+	return pte.Frame
+}
+
+// HWLock acquires the hardware queue lock backing va's sync-page line
+// (§3.2 synchronization pages), blocking until the home grants it.
+func (p *Proc) HWLock(va mem.VAddr) {
+	g := p.n.geom
+	p.now += p.n.tm.L1Hit
+	f := p.translate(va)
+	ln := mem.NewPAddr(g, f, va.PageOffset(g)).Line(g)
+	start := p.now
+	p.n.e.At(p.now, func() {
+		ent, cost := p.n.Ctrl.PIT.Lookup(f)
+		p.n.Ctrl.LockAcquire(p.n.e.Now()+cost, f, ln, ent, func(at sim.Time) {
+			p.now = at
+			p.coro.Step()
+		})
+	})
+	p.coro.Block()
+	p.Stats.StallCycles += p.now - start
+}
+
+// HWUnlock releases the hardware queue lock (posted; the processor
+// does not wait for the home).
+func (p *Proc) HWUnlock(va mem.VAddr) {
+	g := p.n.geom
+	p.now += p.n.tm.L1Hit
+	f := p.translate(va)
+	ln := mem.NewPAddr(g, f, va.PageOffset(g)).Line(g)
+	at := p.now
+	p.n.e.At(at, func() {
+		ent, cost := p.n.Ctrl.PIT.Lookup(f)
+		p.n.Ctrl.LockRelease(p.n.e.Now()+cost, f, ln, ent)
+	})
+	p.maybeYield()
+}
+
+// fault blocks the processor on a page fault.
+func (p *Proc) fault(vp mem.VPage) {
+	start := p.now
+	var okf bool
+	p.n.e.At(p.now, func() {
+		p.n.Kern.HandleFault(vp, func(at sim.Time, _ mem.FrameID, ok bool) {
+			p.now = at
+			okf = ok
+			p.coro.Step()
+		})
+	})
+	p.coro.Block()
+	p.Stats.StallCycles += p.now - start
+	if !okf {
+		panic(fmt.Sprintf("proc %d: unresolvable page fault on %v", p.ID, vp))
+	}
+}
+
+// tlb is a small fully-associative LRU TLB.
+type tlb struct {
+	cap     int
+	entries map[mem.VPage]mem.FrameID
+	lru     map[mem.VPage]uint64
+	clock   uint64
+}
+
+func newTLB(capacity int) *tlb {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &tlb{
+		cap:     capacity,
+		entries: make(map[mem.VPage]mem.FrameID, capacity),
+		lru:     make(map[mem.VPage]uint64, capacity),
+	}
+}
+
+func (t *tlb) lookup(vp mem.VPage) (mem.FrameID, bool) {
+	f, ok := t.entries[vp]
+	if ok {
+		t.clock++
+		t.lru[vp] = t.clock
+	}
+	return f, ok
+}
+
+func (t *tlb) insert(vp mem.VPage, f mem.FrameID) {
+	if len(t.entries) >= t.cap {
+		var victim mem.VPage
+		first := true
+		var min uint64
+		for e, c := range t.lru {
+			if first || c < min || (c == min && less(e, victim)) {
+				victim, min, first = e, c, false
+			}
+		}
+		delete(t.entries, victim)
+		delete(t.lru, victim)
+	}
+	t.clock++
+	t.entries[vp] = f
+	t.lru[vp] = t.clock
+}
+
+// less gives a deterministic tie-break for equal LRU counters.
+func less(a, b mem.VPage) bool {
+	if a.Seg != b.Seg {
+		return a.Seg < b.Seg
+	}
+	return a.Page < b.Page
+}
+
+func (t *tlb) invalidate(vp mem.VPage) {
+	delete(t.entries, vp)
+	delete(t.lru, vp)
+}

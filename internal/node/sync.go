@@ -1,0 +1,176 @@
+package node
+
+import (
+	"fmt"
+
+	"prism/internal/mem"
+	"prism/internal/sim"
+	"prism/internal/timing"
+)
+
+// SyncDomain provides machine-wide barriers and locks. Each primitive
+// is backed by a cache line in a globally shared "sync" segment, and
+// every operation issues real coherence traffic against that line
+// (a write to acquire/arrive, a read on release), so synchronization
+// contends for the memory system exactly like data does. The blocking
+// itself uses engine wait queues rather than spinning, which keeps the
+// simulation free of livelock while preserving the traffic pattern.
+type SyncDomain struct {
+	e     *sim.Engine
+	tm    *timing.T
+	total int
+	base  mem.VAddr
+	geom  mem.Geometry
+
+	// hwBase, when non-zero, routes locks through Sync-mode pages
+	// (§3.2): hardware queue locks at the home controller instead of
+	// test-and-set over coherent lines. Barriers always use coherent
+	// lines.
+	hwBase mem.VAddr
+
+	barriers map[int]*barrierState
+	locks    map[int]*lockState
+
+	// BarrierOps and LockOps count completed operations.
+	BarrierOps uint64
+	LockOps    uint64
+}
+
+// EnableHardwareLocks routes Lock/Unlock through the sync-page
+// protocol backed by the segment at base.
+func (s *SyncDomain) EnableHardwareLocks(base mem.VAddr) { s.hwBase = base }
+
+const (
+	// maxLocks bounds lock ids; barrier lines sit above lock lines in
+	// the sync segment.
+	maxLocks    = 1 << 15
+	maxBarriers = 1 << 12
+)
+
+// HWLockSegmentBytes is the size of the hardware-lock (Sync-mode)
+// segment a machine maps when Config.HardwareSync is on.
+func HWLockSegmentBytes(geom mem.Geometry) uint64 {
+	return uint64(maxLocks) * uint64(geom.LineSize)
+}
+
+// SyncSegmentBytes is the size of the sync segment a machine must map.
+func SyncSegmentBytes(geom mem.Geometry) uint64 {
+	return uint64(maxLocks+maxBarriers) * uint64(geom.LineSize)
+}
+
+type barrierState struct {
+	count int
+	q     sim.Queue
+	epoch uint64
+}
+
+type lockState struct {
+	held bool
+	q    sim.Queue
+}
+
+// NewSyncDomain builds the domain for total processors, with sync
+// lines at virtual base (the start of the machine's sync segment).
+func NewSyncDomain(e *sim.Engine, tm *timing.T, geom mem.Geometry, total int, base mem.VAddr) *SyncDomain {
+	return &SyncDomain{
+		e: e, tm: tm, total: total, base: base, geom: geom,
+		barriers: make(map[int]*barrierState),
+		locks:    make(map[int]*lockState),
+	}
+}
+
+func (s *SyncDomain) lockAddr(id int) mem.VAddr {
+	if id < 0 || id >= maxLocks {
+		panic(fmt.Sprintf("sync: lock id %d out of range", id))
+	}
+	return s.base + mem.VAddr(id*s.geom.LineSize)
+}
+
+func (s *SyncDomain) barrierAddr(id int) mem.VAddr {
+	if id < 0 || id >= maxBarriers {
+		panic(fmt.Sprintf("sync: barrier id %d out of range", id))
+	}
+	return s.base + mem.VAddr((maxLocks+id)*s.geom.LineSize)
+}
+
+// Barrier joins barrier id; returns when all processors have arrived.
+// Called from workload (processor-coroutine) context.
+func (s *SyncDomain) Barrier(p *Proc, id int) {
+	addr := s.barrierAddr(id)
+	// Arrival: fetch the barrier line exclusively and bump the count.
+	p.Write(addr)
+	p.Compute(s.tm.SyncOp)
+
+	b := s.barriers[id]
+	if b == nil {
+		b = &barrierState{}
+		s.barriers[id] = b
+	}
+	b.count++
+	if b.count == s.total {
+		b.count = 0
+		b.epoch++
+		s.BarrierOps++
+		// Release: wake everyone; each reloads the (invalidated)
+		// barrier line on the way out.
+		b.q.WakeAll(s.e, s.tm.SyncOp, 2)
+	} else {
+		b.q.Wait(p.coro)
+		if t := s.e.Now(); t > p.now {
+			p.now = t
+		}
+	}
+	p.Read(addr)
+}
+
+// Lock acquires lock id with FIFO ordering.
+func (s *SyncDomain) Lock(p *Proc, id int) {
+	if s.hwBase != 0 {
+		if id < 0 || id >= maxLocks {
+			panic(fmt.Sprintf("sync: lock id %d out of range", id))
+		}
+		s.LockOps++
+		p.HWLock(s.hwBase + mem.VAddr(id*s.geom.LineSize))
+		return
+	}
+	l := s.locks[id]
+	if l == nil {
+		l = &lockState{}
+		s.locks[id] = l
+	}
+	// Test-and-test&set semantics: a contended release wakes every
+	// spinner; each re-reads the (invalidated) lock line — the re-fetch
+	// storm queue locks were invented to avoid — and one wins the
+	// exclusive test&set.
+	for l.held {
+		l.q.Wait(p.coro)
+		if t := s.e.Now(); t > p.now {
+			p.now = t
+		}
+		p.Read(s.lockAddr(id))
+	}
+	l.held = true
+	s.LockOps++
+	// Test-and-set: exclusive fetch of the lock line.
+	p.Write(s.lockAddr(id))
+	p.Compute(s.tm.SyncOp)
+}
+
+// Unlock releases lock id, waking the next waiter.
+func (s *SyncDomain) Unlock(p *Proc, id int) {
+	if s.hwBase != 0 {
+		p.HWUnlock(s.hwBase + mem.VAddr(id*s.geom.LineSize))
+		return
+	}
+	l := s.locks[id]
+	if l == nil || !l.held {
+		panic(fmt.Sprintf("sync: unlock of unheld lock %d", id))
+	}
+	// Release store.
+	p.Write(s.lockAddr(id))
+	p.Compute(s.tm.SyncOp)
+	l.held = false
+	// All spinners race for the lock; the engine's deterministic order
+	// picks the winner (the oldest waiter reaches test&set first).
+	l.q.WakeAll(s.e, s.tm.SyncOp, 2)
+}

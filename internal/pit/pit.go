@@ -1,0 +1,368 @@
+// Package pit implements PRISM's Page Information Table: the per-node
+// structure the coherence controller uses to translate between local
+// physical frames and global pages, to dispatch protocol handlers by
+// page-frame mode, to hold the fine-grain (2-bit) line tags of S-COMA
+// frames, and to enforce the inter-node memory firewall.
+//
+// Forward translation (frame → global page) is a direct table lookup.
+// Reverse translation (global page → frame) uses the guessed frame
+// number carried in coherence messages when it matches, and otherwise
+// falls back to a hash table — exactly the structure of §3.2.
+package pit
+
+import (
+	"fmt"
+
+	"prism/internal/mem"
+	"prism/internal/sim"
+)
+
+// Mode is a page-frame mode (§3.2 "Page Frame Modes").
+type Mode uint8
+
+// Frame modes.
+const (
+	// ModeInvalid marks an unallocated PIT entry.
+	ModeInvalid Mode = iota
+	// ModeLocal frames are node-private memory; the controller takes
+	// no action and the local bus protocol prevails.
+	ModeLocal
+	// ModeSCOMA frames are page-cache frames for global pages, with
+	// fine-grain tags per line.
+	ModeSCOMA
+	// ModeLANUMA frames are imaginary: no memory behind them; the
+	// controller acts as the memory and forwards misses to the home.
+	ModeLANUMA
+	// ModeCommand frames are the memory-mapped OS↔controller command
+	// interface.
+	ModeCommand
+	// ModeSync frames invoke a locking protocol (the paper mentions
+	// this as an example of further modes; used by the sync extension).
+	ModeSync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInvalid:
+		return "invalid"
+	case ModeLocal:
+		return "local"
+	case ModeSCOMA:
+		return "s-coma"
+	case ModeLANUMA:
+		return "la-numa"
+	case ModeCommand:
+		return "command"
+	case ModeSync:
+		return "sync"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Global reports whether frames in this mode back globally shared pages.
+func (m Mode) Global() bool { return m == ModeSCOMA || m == ModeLANUMA || m == ModeSync }
+
+// Tag is a fine-grain 2-bit line state for S-COMA frames (§3.2).
+type Tag uint8
+
+// Fine-grain tag states.
+const (
+	// TagInvalid: the controller stalls accesses and fetches a copy.
+	TagInvalid Tag = iota
+	// TagShared: reads proceed locally; writes stall for exclusivity.
+	TagShared
+	// TagExclusive: all local accesses proceed under the bus protocol.
+	TagExclusive
+	// TagTransit: a protocol transaction is in flight; bus retries.
+	TagTransit
+)
+
+func (t Tag) String() string {
+	return [...]string{"I", "S", "E", "T"}[t]
+}
+
+// Entry is one PIT entry, indexed by frame number (Figure 5), extended
+// with the dynamic-home field of §3.5 and the capability list of §3.2.
+type Entry struct {
+	Mode  Mode
+	GPage mem.GPage
+
+	// StaticHome tracks the page's fixed static home; DynHome is the
+	// node currently holding the directory (they differ only after a
+	// lazy migration). For non-global frames both are the local node.
+	StaticHome mem.NodeID
+	DynHome    mem.NodeID
+
+	// HomeFrame caches the page's frame number at the (dynamic) home,
+	// carried on paging and coherence messages to optimize reverse
+	// translation at the home.
+	HomeFrame      mem.FrameID
+	HomeFrameKnown bool
+
+	// Tags are the fine-grain line states (S-COMA frames only; nil for
+	// other modes). Dirty marks lines whose local page-cache copy is
+	// newer than the home's.
+	Tags  []Tag
+	Dirty []bool
+
+	// Touched records which lines have ever been accessed, for the
+	// Table 3 utilization statistic.
+	Touched []bool
+
+	// Caps is the capability bitmask of nodes allowed to reach this
+	// frame from the network; bit i grants node i. Zero means "only
+	// the home and this node", the default the firewall falls back to.
+	Caps uint64
+
+	// LastAccess is the last bus-transaction time against the frame
+	// (drives LRU policies); AccessCount and RemoteTraffic feed the
+	// Dyn-Util policy and the migration policy respectively.
+	LastAccess    sim.Time
+	AccessCount   uint64
+	RemoteTraffic uint64
+
+	// invalid counts Tags in TagInvalid, maintained incrementally so
+	// the Dyn-Util query is O(frames) not O(frames×lines).
+	invalid int
+	transit int
+}
+
+// Valid reports whether the entry is allocated.
+func (e *Entry) Valid() bool { return e.Mode != ModeInvalid }
+
+// InvalidLines returns the number of fine-grain tags in TagInvalid.
+func (e *Entry) InvalidLines() int { return e.invalid }
+
+// InTransit reports whether any line of the frame is in TagTransit.
+func (e *Entry) InTransit() bool { return e.transit > 0 }
+
+// Utilization returns the fraction of lines ever touched.
+func (e *Entry) Utilization() float64 {
+	if len(e.Touched) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range e.Touched {
+		if t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(e.Touched))
+}
+
+// Stats counts PIT activity.
+type Stats struct {
+	Lookups       uint64 // forward translations
+	ReverseGuess  uint64 // reverse translations satisfied by the guess
+	ReverseHash   uint64 // reverse translations that needed the hash
+	FirewallDrops uint64 // remote accesses rejected by the capability check
+}
+
+// Config sets the PIT's modeled access times.
+type Config struct {
+	// AccessTime is one PIT lookup (2 cycles SRAM; the §4.3 study uses
+	// 10 to model DRAM).
+	AccessTime sim.Time
+	// HashTime is the additional cost of a hash-table reverse lookup
+	// when the guessed frame number misses.
+	HashTime sim.Time
+}
+
+// DefaultConfig is the paper's SRAM PIT.
+var DefaultConfig = Config{AccessTime: 2, HashTime: 18}
+
+// PIT is one node's Page Information Table.
+type PIT struct {
+	node    mem.NodeID
+	geom    mem.Geometry
+	cfg     Config
+	entries map[mem.FrameID]*Entry
+	reverse map[mem.GPage]mem.FrameID
+
+	Stats Stats
+}
+
+// New builds an empty PIT for the given node.
+func New(node mem.NodeID, geom mem.Geometry, cfg Config) *PIT {
+	return &PIT{
+		node:    node,
+		geom:    geom,
+		cfg:     cfg,
+		entries: make(map[mem.FrameID]*Entry),
+		reverse: make(map[mem.GPage]mem.FrameID),
+	}
+}
+
+// AccessTime returns the modeled cost of one PIT lookup.
+func (p *PIT) AccessTime() sim.Time { return p.cfg.AccessTime }
+
+// SetAccessTime changes the modeled lookup cost (the §4.3 PIT study).
+func (p *PIT) SetAccessTime(t sim.Time) { p.cfg.AccessTime = t }
+
+// Insert binds frame f to entry e. Global-mode entries are also
+// entered in the reverse hash table. Inserting over a valid entry
+// panics: the kernel must Remove first (a page-out).
+func (p *PIT) Insert(f mem.FrameID, e Entry) *Entry {
+	if old, ok := p.entries[f]; ok && old.Valid() {
+		panic(fmt.Sprintf("pit: node %d frame %d already bound to %v", p.node, f, old.GPage))
+	}
+	if e.Mode == ModeSCOMA {
+		lines := p.geom.LinesPerPage()
+		if e.Tags == nil {
+			e.Tags = make([]Tag, lines)
+		}
+		e.Dirty = make([]bool, lines)
+		e.invalid = 0
+		for _, t := range e.Tags {
+			if t == TagInvalid {
+				e.invalid++
+			}
+		}
+	}
+	if e.Mode.Global() || e.Mode == ModeLocal {
+		e.Touched = make([]bool, p.geom.LinesPerPage())
+	}
+	ent := new(Entry)
+	*ent = e
+	p.entries[f] = ent
+	if e.Mode.Global() {
+		p.reverse[e.GPage] = f
+	}
+	return ent
+}
+
+// Remove unbinds frame f, returning its entry (nil if unbound).
+func (p *PIT) Remove(f mem.FrameID) *Entry {
+	e, ok := p.entries[f]
+	if !ok {
+		return nil
+	}
+	delete(p.entries, f)
+	if e.Mode.Global() {
+		if p.reverse[e.GPage] == f {
+			delete(p.reverse, e.GPage)
+		}
+	}
+	return e
+}
+
+// Lookup is the forward translation: frame → entry. Cost: one access.
+func (p *PIT) Lookup(f mem.FrameID) (*Entry, sim.Time) {
+	p.Stats.Lookups++
+	return p.entries[f], p.cfg.AccessTime
+}
+
+// Entry returns the entry without modeling a hardware access (used by
+// the OS/statistics paths, which are charged separately).
+func (p *PIT) Entry(f mem.FrameID) *Entry { return p.entries[f] }
+
+// ReverseLookup translates a global page to the local frame backing
+// it. guess is the frame number carried in the message (guessValid
+// false if the sender had none). The returned cost models the guessed
+// probe and, if needed, the hash search.
+func (p *PIT) ReverseLookup(g mem.GPage, guess mem.FrameID, guessValid bool) (f mem.FrameID, ok bool, cost sim.Time) {
+	cost = p.cfg.AccessTime
+	p.Stats.Lookups++
+	if guessValid {
+		if e, present := p.entries[guess]; present && e.Valid() && e.GPage == g {
+			p.Stats.ReverseGuess++
+			return guess, true, cost
+		}
+	}
+	p.Stats.ReverseHash++
+	cost += p.cfg.HashTime
+	f, ok = p.reverse[g]
+	return f, ok, cost
+}
+
+// FrameFor is the zero-cost reverse map used by the OS layer.
+func (p *PIT) FrameFor(g mem.GPage) (mem.FrameID, bool) {
+	f, ok := p.reverse[g]
+	return f, ok
+}
+
+// CheckAccess is the memory firewall (§3.2): a remote access from node
+// src to frame f is allowed if src is the frame's home or holds a
+// capability. The check piggybacks on the reverse translation the
+// controller performs anyway, so it adds no modeled cost.
+func (p *PIT) CheckAccess(f mem.FrameID, src mem.NodeID) bool {
+	e, ok := p.entries[f]
+	if !ok || !e.Valid() || !e.Mode.Global() {
+		p.Stats.FirewallDrops++
+		return false
+	}
+	if src == e.DynHome || src == e.StaticHome || src == p.node {
+		return true
+	}
+	if e.Caps&(1<<uint(src)) != 0 {
+		return true
+	}
+	p.Stats.FirewallDrops++
+	return false
+}
+
+// TraceTag, when non-nil, observes every fine-grain tag transition
+// (used by protocol debugging tests).
+var TraceTag func(node mem.NodeID, f mem.FrameID, g mem.GPage, ln int, old, new Tag)
+
+// SetTag updates line ln's fine-grain tag, maintaining the invalid and
+// transit counters. It panics if the frame is not S-COMA: callers must
+// dispatch on mode first, like the hardware.
+func (p *PIT) SetTag(f mem.FrameID, ln int, t Tag) {
+	if TraceTag != nil {
+		if e := p.entries[f]; e != nil {
+			TraceTag(p.node, f, e.GPage, ln, e.Tags[ln], t)
+		}
+	}
+	e := p.entries[f]
+	if e == nil || e.Mode != ModeSCOMA {
+		panic(fmt.Sprintf("pit: SetTag on non-S-COMA frame %d", f))
+	}
+	old := e.Tags[ln]
+	if old == t {
+		return
+	}
+	switch old {
+	case TagInvalid:
+		e.invalid--
+	case TagTransit:
+		e.transit--
+	}
+	switch t {
+	case TagInvalid:
+		e.invalid++
+	case TagTransit:
+		e.transit++
+	}
+	e.Tags[ln] = t
+}
+
+// Touch records an access to line ln of frame f at time now, updating
+// the utilization bitmap, LRU timestamp and traffic counters.
+func (p *PIT) Touch(f mem.FrameID, ln int, now sim.Time, remote bool) {
+	e := p.entries[f]
+	if e == nil {
+		return
+	}
+	if e.Touched != nil && ln < len(e.Touched) {
+		e.Touched[ln] = true
+	}
+	e.LastAccess = now
+	e.AccessCount++
+	if remote {
+		e.RemoteTraffic++
+	}
+}
+
+// Frames calls fn for every valid entry. Iteration order is undefined;
+// callers needing determinism must sort (policy code does).
+func (p *PIT) Frames(fn func(mem.FrameID, *Entry)) {
+	for f, e := range p.entries {
+		if e.Valid() {
+			fn(f, e)
+		}
+	}
+}
+
+// Len returns the number of valid entries.
+func (p *PIT) Len() int { return len(p.entries) }

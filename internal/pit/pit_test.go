@@ -1,0 +1,236 @@
+package pit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/mem"
+)
+
+func mkPIT(t *testing.T) *PIT {
+	t.Helper()
+	return New(0, mem.DefaultGeometry, DefaultConfig)
+}
+
+func scomaEntry(g mem.GPage, home mem.NodeID) Entry {
+	return Entry{Mode: ModeSCOMA, GPage: g, StaticHome: home, DynHome: home}
+}
+
+func TestModeHelpers(t *testing.T) {
+	if !ModeSCOMA.Global() || !ModeLANUMA.Global() {
+		t.Error("shared modes not global")
+	}
+	if ModeLocal.Global() || ModeCommand.Global() || ModeInvalid.Global() {
+		t.Error("non-shared modes marked global")
+	}
+	for _, m := range []Mode{ModeInvalid, ModeLocal, ModeSCOMA, ModeLANUMA, ModeCommand, ModeSync} {
+		if m.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+	for _, tg := range []Tag{TagInvalid, TagShared, TagExclusive, TagTransit} {
+		if tg.String() == "" {
+			t.Error("empty tag string")
+		}
+	}
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	p := mkPIT(t)
+	g := mem.GPage{Seg: 1, Page: 7}
+	e := p.Insert(5, scomaEntry(g, 2))
+	if len(e.Tags) != 64 || len(e.Dirty) != 64 || len(e.Touched) != 64 {
+		t.Fatalf("S-COMA arrays not sized: %d/%d/%d", len(e.Tags), len(e.Dirty), len(e.Touched))
+	}
+	if e.InvalidLines() != 64 {
+		t.Fatalf("fresh tags invalid count %d, want 64", e.InvalidLines())
+	}
+	got, cost := p.Lookup(5)
+	if got != e || cost != 2 {
+		t.Fatalf("lookup %+v cost %d", got, cost)
+	}
+	if f, ok := p.FrameFor(g); !ok || f != 5 {
+		t.Fatal("reverse map missing")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len %d", p.Len())
+	}
+	if r := p.Remove(5); r != e {
+		t.Fatal("remove returned wrong entry")
+	}
+	if _, ok := p.FrameFor(g); ok {
+		t.Fatal("reverse map not cleaned")
+	}
+	if p.Remove(5) != nil {
+		t.Fatal("double remove")
+	}
+}
+
+func TestInsertOverValidPanics(t *testing.T) {
+	p := mkPIT(t)
+	p.Insert(1, scomaEntry(mem.GPage{Seg: 1}, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("double bind did not panic")
+		}
+	}()
+	p.Insert(1, scomaEntry(mem.GPage{Seg: 2}, 0))
+}
+
+func TestReverseLookupGuessVsHash(t *testing.T) {
+	p := mkPIT(t)
+	g := mem.GPage{Seg: 3, Page: 1}
+	p.Insert(9, scomaEntry(g, 0))
+
+	f, ok, cost := p.ReverseLookup(g, 9, true)
+	if !ok || f != 9 || cost != 2 {
+		t.Fatalf("guess hit: f=%d ok=%v cost=%d", f, ok, cost)
+	}
+	f, ok, cost = p.ReverseLookup(g, 4, true) // wrong guess
+	if !ok || f != 9 || cost != 2+DefaultConfig.HashTime {
+		t.Fatalf("wrong guess: f=%d ok=%v cost=%d", f, ok, cost)
+	}
+	f, ok, cost = p.ReverseLookup(g, 0, false) // no guess
+	if !ok || f != 9 || cost != 2+DefaultConfig.HashTime {
+		t.Fatalf("no guess: f=%d ok=%v cost=%d", f, ok, cost)
+	}
+	_, ok, _ = p.ReverseLookup(mem.GPage{Seg: 9}, 0, false)
+	if ok {
+		t.Fatal("found unmapped page")
+	}
+	if p.Stats.ReverseGuess != 1 || p.Stats.ReverseHash != 3 {
+		t.Fatalf("stats %+v", p.Stats)
+	}
+}
+
+func TestSetTagCounters(t *testing.T) {
+	p := mkPIT(t)
+	e := p.Insert(1, scomaEntry(mem.GPage{Seg: 1}, 0))
+	p.SetTag(1, 0, TagTransit)
+	if !e.InTransit() || e.InvalidLines() != 63 {
+		t.Fatalf("transit=%v invalid=%d", e.InTransit(), e.InvalidLines())
+	}
+	p.SetTag(1, 0, TagExclusive)
+	if e.InTransit() || e.InvalidLines() != 63 {
+		t.Fatal("counters after E wrong")
+	}
+	p.SetTag(1, 0, TagInvalid)
+	if e.InvalidLines() != 64 {
+		t.Fatal("invalid count not restored")
+	}
+	p.SetTag(1, 0, TagInvalid) // no-op
+	if e.InvalidLines() != 64 {
+		t.Fatal("idempotent set broke counter")
+	}
+}
+
+func TestSetTagInvariantProperty(t *testing.T) {
+	// Property: invalid/transit counters always equal a full recount.
+	f := func(ops []uint16) bool {
+		p := New(0, mem.DefaultGeometry, DefaultConfig)
+		e := p.Insert(1, scomaEntry(mem.GPage{Seg: 1}, 0))
+		for _, op := range ops {
+			ln := int(op) % 64
+			tag := Tag(op>>8) % 4
+			p.SetTag(1, ln, tag)
+		}
+		inv, tr := 0, 0
+		for _, tg := range e.Tags {
+			switch tg {
+			case TagInvalid:
+				inv++
+			case TagTransit:
+				tr++
+			}
+		}
+		return e.InvalidLines() == inv && e.InTransit() == (tr > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetTagNonSCOMAPanics(t *testing.T) {
+	p := mkPIT(t)
+	p.Insert(2, Entry{Mode: ModeLANUMA, GPage: mem.GPage{Seg: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTag on LA-NUMA frame did not panic")
+		}
+	}()
+	p.SetTag(2, 0, TagShared)
+}
+
+func TestTouchAndUtilization(t *testing.T) {
+	p := mkPIT(t)
+	e := p.Insert(1, scomaEntry(mem.GPage{Seg: 1}, 0))
+	p.Touch(1, 0, 100, false)
+	p.Touch(1, 1, 200, true)
+	p.Touch(1, 1, 300, true)
+	if e.LastAccess != 300 || e.AccessCount != 3 || e.RemoteTraffic != 2 {
+		t.Fatalf("counters %+v", e)
+	}
+	if u := e.Utilization(); u != 2.0/64 {
+		t.Fatalf("utilization %f", u)
+	}
+	p.Touch(99, 0, 1, false) // unknown frame: no-op
+}
+
+func TestFirewall(t *testing.T) {
+	p := mkPIT(t)
+	e := p.Insert(1, scomaEntry(mem.GPage{Seg: 1}, 2))
+	e.Caps = 1 << 4 // only node 4
+
+	if !p.CheckAccess(1, 4) {
+		t.Error("capability holder rejected")
+	}
+	if !p.CheckAccess(1, 2) {
+		t.Error("home rejected")
+	}
+	if p.CheckAccess(1, 5) {
+		t.Error("wild access allowed")
+	}
+	if p.CheckAccess(99, 4) {
+		t.Error("access to unbound frame allowed")
+	}
+	if p.Stats.FirewallDrops != 2 {
+		t.Fatalf("drops %d, want 2", p.Stats.FirewallDrops)
+	}
+}
+
+func TestFramesIteration(t *testing.T) {
+	p := mkPIT(t)
+	p.Insert(1, scomaEntry(mem.GPage{Seg: 1, Page: 0}, 0))
+	p.Insert(2, scomaEntry(mem.GPage{Seg: 1, Page: 1}, 0))
+	n := 0
+	p.Frames(func(f mem.FrameID, e *Entry) { n++ })
+	if n != 2 {
+		t.Fatalf("iterated %d", n)
+	}
+}
+
+func TestAccessTimeOverride(t *testing.T) {
+	p := mkPIT(t)
+	p.SetAccessTime(10)
+	if p.AccessTime() != 10 {
+		t.Fatal("access time not set")
+	}
+	p.Insert(1, scomaEntry(mem.GPage{Seg: 1}, 0))
+	if _, cost := p.Lookup(1); cost != 10 {
+		t.Fatalf("lookup cost %d, want 10", cost)
+	}
+}
+
+func TestLocalModeEntry(t *testing.T) {
+	p := mkPIT(t)
+	e := p.Insert(3, Entry{Mode: ModeLocal, StaticHome: 0, DynHome: 0})
+	if e.Tags != nil {
+		t.Fatal("local frame has tags")
+	}
+	if e.Touched == nil {
+		t.Fatal("local frame needs utilization tracking")
+	}
+	if _, ok := p.FrameFor(mem.GPage{}); ok {
+		t.Fatal("local frame in reverse map")
+	}
+}

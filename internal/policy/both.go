@@ -1,0 +1,51 @@
+package policy
+
+import (
+	"prism/internal/mem"
+)
+
+// DynBoth is the bidirectional adaptive policy the paper's conclusion
+// calls for ("we can combine the algorithms to implement an adaptive
+// configuration that switches modes in both directions"): it behaves
+// like Dyn-LRU under page-cache pressure (S-COMA → LA-NUMA), and uses
+// an R-NUMA-style refetch counter to convert reuse pages back
+// (LA-NUMA → S-COMA) once they have refetched Threshold lines from
+// their home — fixing Dyn-LRU's known regressions on Barnes and Ocean
+// (§4.3), where converted reuse pages thrash the processor caches.
+type DynBoth struct {
+	// Threshold is the per-page remote-refetch count that triggers the
+	// LA-NUMA → S-COMA conversion. The R-NUMA paper's default order of
+	// magnitude (tens of refetches) works well here too.
+	Threshold uint64
+}
+
+// DefaultRefetchThreshold matches R-NUMA's order of magnitude.
+const DefaultRefetchThreshold = 64
+
+// Name implements Policy.
+func (p DynBoth) Name() string { return "Dyn-Both" }
+
+// Choose implements Policy (the forward direction — identical to
+// Dyn-LRU; the reverse direction runs in the kernel via the refetch
+// hook).
+func (p DynBoth) Choose(v View, g mem.GPage) Decision {
+	return DynLRU{}.Choose(v, g)
+}
+
+// RefetchThreshold implements the kernel's reuse-detector contract.
+func (p DynBoth) RefetchThreshold() uint64 {
+	if p.Threshold == 0 {
+		return DefaultRefetchThreshold
+	}
+	return p.Threshold
+}
+
+// ReuseDetector is implemented by policies that want LA-NUMA pages
+// converted back to S-COMA after a refetch threshold; the kernel arms
+// the controller hook when its policy implements it.
+type ReuseDetector interface {
+	RefetchThreshold() uint64
+}
+
+var _ ReuseDetector = DynBoth{}
+var _ Policy = DynBoth{}

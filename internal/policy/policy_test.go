@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/pit"
+)
+
+// fakeView is a scriptable policy.View.
+type fakeView struct {
+	client  int
+	cap     int
+	lru     mem.FrameID
+	lruOK   bool
+	inval   mem.FrameID
+	invalOK bool
+}
+
+func (v *fakeView) ClientSCOMAFrames() int { return v.client }
+func (v *fakeView) PageCacheCap() int      { return v.cap }
+func (v *fakeView) LRUVictim() (mem.FrameID, bool) {
+	return v.lru, v.lruOK
+}
+func (v *fakeView) MostInvalidVictim() (mem.FrameID, bool) {
+	return v.inval, v.invalOK
+}
+
+var g = mem.GPage{Seg: 1, Page: 0}
+
+func TestSCOMAAlwaysReal(t *testing.T) {
+	v := &fakeView{client: 1000, cap: 10}
+	d := SCOMA{}.Choose(v, g)
+	if d.Mode != pit.ModeSCOMA || d.HasVictim {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestLANUMAAlwaysImaginary(t *testing.T) {
+	d := LANUMA{}.Choose(&fakeView{}, g)
+	if d.Mode != pit.ModeLANUMA || d.HasVictim {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestSCOMA70(t *testing.T) {
+	// Under cap: plain S-COMA.
+	d := SCOMA70{}.Choose(&fakeView{client: 5, cap: 10}, g)
+	if d.Mode != pit.ModeSCOMA || d.HasVictim {
+		t.Fatalf("under cap: %+v", d)
+	}
+	// At cap: evict LRU, never convert.
+	d = SCOMA70{}.Choose(&fakeView{client: 10, cap: 10, lru: 7, lruOK: true}, g)
+	if !d.HasVictim || d.Victim != 7 || d.ConvertVictim || d.Mode != pit.ModeSCOMA {
+		t.Fatalf("at cap: %+v", d)
+	}
+	// No victim available: exceed transiently.
+	d = SCOMA70{}.Choose(&fakeView{client: 10, cap: 10}, g)
+	if d.HasVictim || d.Mode != pit.ModeSCOMA {
+		t.Fatalf("no victim: %+v", d)
+	}
+	// Unlimited cap never evicts.
+	d = SCOMA70{}.Choose(&fakeView{client: 1000, cap: 0, lruOK: true}, g)
+	if d.HasVictim {
+		t.Fatalf("unlimited cap evicted: %+v", d)
+	}
+}
+
+func TestDynFCFS(t *testing.T) {
+	d := DynFCFS{}.Choose(&fakeView{client: 5, cap: 10}, g)
+	if d.Mode != pit.ModeSCOMA {
+		t.Fatalf("under cap: %+v", d)
+	}
+	d = DynFCFS{}.Choose(&fakeView{client: 10, cap: 10}, g)
+	if d.Mode != pit.ModeLANUMA || d.HasVictim {
+		t.Fatalf("full: %+v", d)
+	}
+}
+
+func TestDynUtil(t *testing.T) {
+	d := DynUtil{}.Choose(&fakeView{client: 10, cap: 10, inval: 3, invalOK: true}, g)
+	if !d.HasVictim || d.Victim != 3 || !d.ConvertVictim || d.Mode != pit.ModeSCOMA {
+		t.Fatalf("full: %+v", d)
+	}
+	// All candidates in transit: fall back to LA-NUMA.
+	d = DynUtil{}.Choose(&fakeView{client: 10, cap: 10}, g)
+	if d.Mode != pit.ModeLANUMA || d.HasVictim {
+		t.Fatalf("no victim: %+v", d)
+	}
+}
+
+func TestDynLRU(t *testing.T) {
+	d := DynLRU{}.Choose(&fakeView{client: 10, cap: 10, lru: 4, lruOK: true}, g)
+	if !d.HasVictim || d.Victim != 4 || !d.ConvertVictim {
+		t.Fatalf("full: %+v", d)
+	}
+	d = DynLRU{}.Choose(&fakeView{client: 2, cap: 10}, g)
+	if d.Mode != pit.ModeSCOMA || d.HasVictim {
+		t.Fatalf("under cap: %+v", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SCOMA", "LANUMA", "SCOMA-70", "Dyn-FCFS", "Dyn-Util", "Dyn-LRU"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("name round trip: %q != %q", p.Name(), name)
+		}
+	}
+	// Lower-case aliases.
+	for _, name := range []string{"scoma", "lanuma", "scoma70", "fcfs", "util", "lru"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("alias %s rejected: %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	want := []string{"SCOMA", "LANUMA", "SCOMA-70", "Dyn-FCFS", "Dyn-Util", "Dyn-LRU"}
+	if len(all) != len(want) {
+		t.Fatalf("len %d", len(all))
+	}
+	for i, p := range all {
+		if p.Name() != want[i] {
+			t.Errorf("slot %d: %s, want %s", i, p.Name(), want[i])
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventQueue measures raw schedule+dispatch throughput.
+func BenchmarkEventQueue(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%64), func() {})
+		if e.Pending() > 1024 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}
+
+// BenchmarkCoroutineHandoff measures one block/step round trip.
+func BenchmarkCoroutineHandoff(b *testing.B) {
+	e := NewEngine()
+	c := NewCoro("bench")
+	c.Start(func() {
+		for {
+			c.Block()
+		}
+	})
+	// Prime to the first block.
+	go func() {}()
+	e.Schedule(0, func() { c.Step() })
+	e.RunUntilIdle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

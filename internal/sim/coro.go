@@ -1,0 +1,114 @@
+package sim
+
+// Coro is a coroutine context for one simulated processor. The
+// processor's workload code runs on its own goroutine, but the engine
+// enforces strict handoff: exactly one of {engine, some coroutine} is
+// executing at any moment. A coroutine runs until it blocks (waiting
+// for a modeled latency or a synchronization event) or finishes; the
+// engine then continues processing events.
+//
+// This is the execution-driven simulation structure of Augmint: the
+// functional program runs natively, yielding to the timing model at
+// every point where simulated time must pass.
+type Coro struct {
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+
+	// Label is a diagnostic name ("node2.cpu1").
+	Label string
+}
+
+// NewCoro allocates an un-started coroutine context.
+func NewCoro(label string) *Coro {
+	return &Coro{
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		Label:  label,
+	}
+}
+
+// Start launches body on a fresh goroutine. The body does not begin
+// executing until the first Step. When body returns, the coroutine is
+// marked done and control passes back to the engine.
+func (c *Coro) Start(body func()) {
+	go func() {
+		<-c.resume
+		body()
+		c.done = true
+		c.yield <- struct{}{}
+	}()
+}
+
+// Step transfers control to the coroutine and blocks until it yields
+// again (via Block) or finishes. It must only be called from engine
+// context (inside an event function or before Run begins).
+// It reports whether the coroutine is still live afterwards.
+func (c *Coro) Step() bool {
+	if c.done {
+		panic("sim: Step on finished coroutine " + c.Label)
+	}
+	c.resume <- struct{}{}
+	<-c.yield
+	return !c.done
+}
+
+// Block suspends the coroutine until the next Step. It must only be
+// called from the coroutine's own goroutine. The caller is responsible
+// for having arranged a future Step (e.g. by scheduling an event that
+// calls it); otherwise the simulation deadlocks, which the engine
+// reports as a drained event queue with live coroutines.
+func (c *Coro) Block() {
+	c.yield <- struct{}{}
+	<-c.resume
+}
+
+// Done reports whether the coroutine's body has returned.
+func (c *Coro) Done() bool { return c.done }
+
+// WaitUntil blocks the coroutine until simulated time t. It schedules
+// its own wake-up event. Must be called from the coroutine goroutine.
+func (c *Coro) WaitUntil(e *Engine, t Time) {
+	e.At(t, func() { c.Step() })
+	c.Block()
+}
+
+// Queue is a FIFO of blocked coroutines, the building block for locks,
+// barriers and per-line wait lists. The zero value is an empty queue.
+type Queue struct {
+	waiters []*Coro
+}
+
+// Wait appends the coroutine and blocks it. Must be called from the
+// coroutine goroutine.
+func (q *Queue) Wait(c *Coro) {
+	q.waiters = append(q.waiters, c)
+	c.Block()
+}
+
+// Len returns the number of blocked coroutines.
+func (q *Queue) Len() int { return len(q.waiters) }
+
+// WakeOne resumes the head waiter at time now+delay. It returns false
+// if the queue was empty. Must be called from engine context.
+func (q *Queue) WakeOne(e *Engine, delay Time) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	c := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	e.Schedule(delay, func() { c.Step() })
+	return true
+}
+
+// WakeAll resumes every waiter. Each waiter i is resumed at
+// now + delay + Time(i)*stagger, modeling serialized wake-up costs.
+func (q *Queue) WakeAll(e *Engine, delay, stagger Time) int {
+	n := len(q.waiters)
+	for i, c := range q.waiters {
+		c := c
+		e.Schedule(delay+Time(i)*stagger, func() { c.Step() })
+	}
+	q.waiters = nil
+	return n
+}

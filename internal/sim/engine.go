@@ -1,0 +1,114 @@
+// Package sim provides the deterministic discrete-event simulation
+// engine underneath the PRISM machine model: a simulated clock, an
+// event queue, coroutine-style processor contexts with strict
+// one-runnable-at-a-time handoff, FIFO occupancy resources, and
+// blocking queues used to build barriers and locks.
+//
+// The engine plays the role Augmint played for the paper: workloads
+// execute functionally on the host while the engine accounts for time.
+// Determinism: events are ordered by (time, sequence number), exactly
+// one goroutine runs at any instant, and all model state is mutated
+// only from engine context or from the single running coroutine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated time in processor cycles.
+type Time uint64
+
+// Forever is a time later than any event the simulation schedules.
+const Forever = Time(^uint64(0) >> 1)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulator core. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// running is diagnostic: true while inside Run.
+	running bool
+}
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at now+delay. Events scheduled for
+// the same instant run in scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run processes events in time order until the queue drains or the
+// clock would pass limit. It returns the number of events processed.
+func (e *Engine) Run(limit Time) int {
+	if e.running {
+		panic("sim: Engine.Run is not reentrant")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	n := 0
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > limit {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// RunUntilIdle processes all events without a time bound.
+func (e *Engine) RunUntilIdle() int { return e.Run(Forever) }

@@ -1,0 +1,55 @@
+package sim
+
+// Resource models a pipelined hardware unit with FIFO occupancy: a bus
+// path, a coherence-controller pipeline, a memory bank, a network
+// interface. A request arriving at time t is granted at
+// max(t, earliest-free) and holds the unit for its busy time.
+//
+// Because the engine processes events in time order, granting in call
+// order yields first-come-first-served arbitration.
+type Resource struct {
+	// Name is used in diagnostics and stats.
+	Name string
+
+	freeAt Time
+
+	// Stats
+	Grants    uint64
+	BusyTotal Time // total cycles the unit was occupied
+	WaitTotal Time // total cycles requests spent queued
+}
+
+// Acquire reserves the resource for busy cycles starting no earlier
+// than at. It returns the grant (start) time; the caller's operation
+// completes at grant+busy (plus any downstream latency).
+func (r *Resource) Acquire(at, busy Time) (grant Time) {
+	grant = at
+	if r.freeAt > grant {
+		grant = r.freeAt
+	}
+	r.WaitTotal += grant - at
+	r.freeAt = grant + busy
+	r.Grants++
+	r.BusyTotal += busy
+	return grant
+}
+
+// FreeAt returns the earliest time a new request could be granted.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Utilization returns BusyTotal as a fraction of elapsed.
+func (r *Resource) Utilization(elapsed Time) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(r.BusyTotal) / float64(elapsed)
+}
+
+// Reset clears statistics but keeps the occupancy horizon, so that
+// measurement windows (e.g. "parallel phase only") can be carved out
+// of a longer run.
+func (r *Resource) Reset() {
+	r.Grants = 0
+	r.BusyTotal = 0
+	r.WaitTotal = 0
+}

@@ -1,0 +1,77 @@
+// Package timing collects every latency/occupancy constant of the
+// simulated machine in one place. The defaults are tuned so that the
+// Table 1 microbenchmark (internal/latency) approximates the paper's
+// uncontended numbers; EXPERIMENTS.md records measured-vs-paper.
+package timing
+
+import "prism/internal/sim"
+
+// T holds the machine's timing parameters, all in processor cycles.
+// The memory bus is 16 bytes wide, split-transaction, at half the
+// processor clock, so one 64-byte line moves in 4 bus beats = 8 cycles.
+type T struct {
+	// Processor-side hierarchy.
+	L1Hit   sim.Time // folded into the 1-cycle-per-reference CPI
+	L2Hit   sim.Time // L1 miss, L2 hit (Table 1: 12)
+	TLBMiss sim.Time // hardware page-table walk (Table 1: 30)
+
+	// Node bus (split-phase, fully pipelined).
+	BusArb  sim.Time // arbitration for the address path
+	BusAddr sim.Time // address phase occupancy
+	BusData sim.Time // data phase occupancy for one line
+	Interv  sim.Time // extra cost of a cache-to-cache intervention
+
+	// Local memory.
+	MemRead  sim.Time // DRAM read access
+	MemWrite sim.Time // DRAM write access (buffered; occupancy only)
+
+	// Coherence controller.
+	CtrlIn     sim.Time // processing an inbound message/bus request
+	CtrlOut    sim.Time // composing and issuing an outbound message
+	InvStagger sim.Time // serialization between successive invalidations
+	// issued by the home (Table 1: +80 per sharer)
+
+	// Kernel / paging overheads (targets: Table 1 rows 9–10).
+	PFKernelLocal  sim.Time // page-fault service when this node is home
+	PFKernelClient sim.Time // client-side kernel work on a remote-home fault
+	PFHomeService  sim.Time // home-side kernel work for a client page-in
+	PageOutKernel  sim.Time // client page-out kernel work
+	PerLineFlush   sim.Time // per dirty line written back during a flush
+	SyncOp         sim.Time // lock/barrier bookkeeping cost per operation
+
+	// Message sizes in bytes.
+	MsgHeader int // control message size
+	LineBytes int // data payload
+}
+
+// Default is tuned to the paper's Table 1 machine: 5–10ns processors,
+// 16-byte half-speed bus, 120-cycle one-way network.
+func Default() T {
+	return T{
+		L1Hit:   1,
+		L2Hit:   12,
+		TLBMiss: 30,
+
+		BusArb:  2,
+		BusAddr: 4,
+		BusData: 8,
+		Interv:  12,
+
+		MemRead:  22,
+		MemWrite: 10,
+
+		CtrlIn:     52,
+		CtrlOut:    28,
+		InvStagger: 80,
+
+		PFKernelLocal:  2300,
+		PFKernelClient: 2000,
+		PFHomeService:  2050,
+		PageOutKernel:  800,
+		PerLineFlush:   24,
+		SyncOp:         40,
+
+		MsgHeader: 16,
+		LineBytes: 64,
+	}
+}

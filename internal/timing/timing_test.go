@@ -1,0 +1,38 @@
+package timing
+
+import "testing"
+
+func TestDefaultMatchesPaperAnchors(t *testing.T) {
+	tm := Default()
+	// The directly-specified Table 1 anchors.
+	if tm.L2Hit != 12 {
+		t.Errorf("L2Hit %d, want 12", tm.L2Hit)
+	}
+	if tm.TLBMiss != 30 {
+		t.Errorf("TLBMiss %d, want 30", tm.TLBMiss)
+	}
+	if tm.InvStagger != 80 {
+		t.Errorf("InvStagger %d, want 80 (the +80n slope)", tm.InvStagger)
+	}
+	// Local memory path: arb + addr + PIT-free memory read + data
+	// should land near 36 cycles.
+	local := tm.BusArb + tm.BusAddr + tm.MemRead + tm.BusData
+	if local < 30 || local > 42 {
+		t.Errorf("local path %d cycles, want ≈36", local)
+	}
+	// The 64-byte line must cross the 16B half-speed bus in 8 cycles.
+	if tm.BusData != 8 {
+		t.Errorf("BusData %d, want 8 (64B over a 16B half-speed bus)", tm.BusData)
+	}
+	if tm.LineBytes != 64 || tm.MsgHeader <= 0 {
+		t.Errorf("message sizing %d/%d", tm.LineBytes, tm.MsgHeader)
+	}
+	// Page-fault budgets (Table 1 rows 9-10).
+	if tm.PFKernelLocal != 2300 {
+		t.Errorf("PFKernelLocal %d, want 2300", tm.PFKernelLocal)
+	}
+	total := tm.PFKernelClient + tm.PFHomeService
+	if total < 3500 || total > 4400 {
+		t.Errorf("remote fault kernel budget %d; with 2 network hops it must land near 4400", total)
+	}
+}

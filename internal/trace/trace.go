@@ -1,0 +1,177 @@
+// Package trace collects and analyzes memory-reference traces from
+// the simulated processors: per-page access profiles, sharing-degree
+// histograms, read/write mixes and footprints. cmd/prismtrace uses it
+// to inspect a workload's sharing pattern — the property that decides
+// whether its pages want S-COMA or LA-NUMA frames.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"prism/internal/mem"
+	"prism/internal/sim"
+)
+
+// PageProfile is one virtual page's access profile.
+type PageProfile struct {
+	Page   mem.VPage
+	Reads  uint64
+	Writes uint64
+	// Procs is a bitmask of the processors that touched the page.
+	Procs uint64
+	// Lines is a bitmask of the touched lines (spatial utilization).
+	Lines uint64
+}
+
+// Sharers counts the processors that touched the page.
+func (p *PageProfile) Sharers() int {
+	n := 0
+	for m := p.Procs; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// LineCount counts distinct lines touched (capped at 64 per page).
+func (p *PageProfile) LineCount() int {
+	n := 0
+	for m := p.Lines; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Collector implements node.Tracer and accumulates the profile.
+type Collector struct {
+	geom  mem.Geometry
+	pages map[mem.VPage]*PageProfile
+
+	Refs    uint64
+	Writes  uint64
+	PerProc map[mem.ProcID]uint64
+}
+
+// NewCollector builds an empty collector.
+func NewCollector(geom mem.Geometry) *Collector {
+	return &Collector{
+		geom:    geom,
+		pages:   make(map[mem.VPage]*PageProfile),
+		PerProc: make(map[mem.ProcID]uint64),
+	}
+}
+
+// Ref implements the tracer interface.
+func (c *Collector) Ref(p mem.ProcID, va mem.VAddr, write bool, at sim.Time) {
+	c.Refs++
+	if write {
+		c.Writes++
+	}
+	c.PerProc[p]++
+	vp := va.Page(c.geom)
+	prof := c.pages[vp]
+	if prof == nil {
+		prof = &PageProfile{Page: vp}
+		c.pages[vp] = prof
+	}
+	if write {
+		prof.Writes++
+	} else {
+		prof.Reads++
+	}
+	if p < 64 {
+		prof.Procs |= 1 << uint(p)
+	}
+	ln := va.PageOffset(c.geom) / c.geom.LineSize
+	if ln < 64 {
+		prof.Lines |= 1 << uint(ln)
+	}
+}
+
+// Pages returns all page profiles, hottest first.
+func (c *Collector) Pages() []*PageProfile {
+	out := make([]*PageProfile, 0, len(c.pages))
+	for _, p := range c.pages {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].Reads + out[i].Writes
+		tj := out[j].Reads + out[j].Writes
+		if ti != tj {
+			return ti > tj
+		}
+		if out[i].Page.Seg != out[j].Page.Seg {
+			return out[i].Page.Seg < out[j].Page.Seg
+		}
+		return out[i].Page.Page < out[j].Page.Page
+	})
+	return out
+}
+
+// SharingHistogram buckets pages by sharing degree: hist[k] = pages
+// touched by exactly k processors (k=0 unused).
+func (c *Collector) SharingHistogram(maxProcs int) []int {
+	hist := make([]int, maxProcs+1)
+	for _, p := range c.pages {
+		s := p.Sharers()
+		if s > maxProcs {
+			s = maxProcs
+		}
+		hist[s]++
+	}
+	return hist
+}
+
+// Summary renders a human-readable profile.
+func (c *Collector) Summary(topN, nprocs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "references: %d (%.1f%% writes), pages touched: %d, footprint: %d KB\n",
+		c.Refs, 100*float64(c.Writes)/float64(maxU64(c.Refs, 1)), len(c.pages),
+		len(c.pages)*c.geom.PageSize/1024)
+
+	hist := c.SharingHistogram(nprocs)
+	fmt.Fprintf(&b, "sharing degree (pages by #procs): ")
+	for k := 1; k <= nprocs; k++ {
+		if hist[k] > 0 {
+			fmt.Fprintf(&b, "%d:%d ", k, hist[k])
+		}
+	}
+	b.WriteByte('\n')
+
+	pages := c.Pages()
+	if topN > len(pages) {
+		topN = len(pages)
+	}
+	fmt.Fprintf(&b, "%-16s %10s %10s %8s %6s\n", "page", "reads", "writes", "sharers", "lines")
+	for _, p := range pages[:topN] {
+		fmt.Fprintf(&b, "%-16s %10d %10d %8d %6d\n",
+			p.Page.String(), p.Reads, p.Writes, p.Sharers(), p.LineCount())
+	}
+	return b.String()
+}
+
+// pageString formats a VPage (helper for CSV).
+func pageString(p mem.VPage) string { return fmt.Sprintf("%d:%d", p.Seg, p.Page) }
+
+// WriteCSV dumps the per-page profile.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "seg:page,reads,writes,sharers,lines"); err != nil {
+		return err
+	}
+	for _, p := range c.Pages() {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d\n",
+			pageString(p.Page), p.Reads, p.Writes, p.Sharers(), p.LineCount()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

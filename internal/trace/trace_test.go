@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/mem"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	g := mem.DefaultGeometry
+	c := NewCollector(g)
+	a := mem.NewVAddr(5, 0)
+	c.Ref(0, a, false, 10)
+	c.Ref(0, a+64, true, 20)
+	c.Ref(3, a, false, 30)
+	c.Ref(1, a+4096, true, 40)
+
+	if c.Refs != 4 || c.Writes != 2 {
+		t.Fatalf("refs %d writes %d", c.Refs, c.Writes)
+	}
+	pages := c.Pages()
+	if len(pages) != 2 {
+		t.Fatalf("pages %d", len(pages))
+	}
+	hot := pages[0]
+	if hot.Page != (mem.VPage{Seg: 5, Page: 0}) {
+		t.Fatalf("hottest page %v", hot.Page)
+	}
+	if hot.Sharers() != 2 || hot.LineCount() != 2 {
+		t.Fatalf("sharers %d lines %d", hot.Sharers(), hot.LineCount())
+	}
+	if hot.Reads != 2 || hot.Writes != 1 {
+		t.Fatalf("profile %+v", hot)
+	}
+}
+
+func TestSharingHistogram(t *testing.T) {
+	g := mem.DefaultGeometry
+	c := NewCollector(g)
+	// Page 0: 3 procs; page 1: 1 proc.
+	for p := 0; p < 3; p++ {
+		c.Ref(mem.ProcID(p), mem.NewVAddr(1, 0), false, 0)
+	}
+	c.Ref(7, mem.NewVAddr(1, 4096), true, 0)
+	h := c.SharingHistogram(8)
+	if h[1] != 1 || h[3] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestSummaryAndCSV(t *testing.T) {
+	g := mem.DefaultGeometry
+	c := NewCollector(g)
+	for i := 0; i < 100; i++ {
+		c.Ref(mem.ProcID(i%4), mem.NewVAddr(2, uint64(i*64)), i%3 == 0, 0)
+	}
+	s := c.Summary(5, 8)
+	if !strings.Contains(s, "references: 100") {
+		t.Errorf("summary:\n%s", s)
+	}
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+len(c.Pages()) {
+		t.Errorf("csv rows %d, want %d", len(lines), 1+len(c.Pages()))
+	}
+}
+
+func TestRefCountProperty(t *testing.T) {
+	// Property: total per-page reads+writes equals total refs.
+	g := mem.DefaultGeometry
+	f := func(ops []uint32) bool {
+		c := NewCollector(g)
+		for _, op := range ops {
+			va := mem.NewVAddr(mem.VSID(op%4), uint64(op%(1<<20)))
+			c.Ref(mem.ProcID(op%32), va, op%2 == 0, 0)
+		}
+		var sum uint64
+		for _, p := range c.Pages() {
+			sum += p.Reads + p.Writes
+		}
+		return sum == c.Refs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

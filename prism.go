@@ -1,0 +1,96 @@
+// Package prism is the public API of the PRISM reproduction: an
+// execution-driven simulator of the PRISM scalable shared-memory
+// architecture (Ekanadham, Lim, Pattnaik, Snir — HPCA 1998).
+//
+// PRISM attaches a *mode* to every page frame (Local, S-COMA,
+// LA-NUMA, ...) and lets each node's independent kernel pick modes
+// per page, dynamically — blending CC-NUMA and S-COMA behaviour. This
+// package exposes the machine model, its configuration, the page-mode
+// policies of the paper's §4, and the workload interface; the
+// workloads package provides the eight SPLASH-style applications.
+//
+// Quickstart:
+//
+//	cfg := prism.DefaultConfig()
+//	cfg.Policy = prism.MustPolicy("Dyn-LRU")
+//	m, err := prism.New(cfg)
+//	...
+//	res, err := m.Run(workloads.NewFFT(workloads.CISize))
+//	fmt.Println(res)
+package prism
+
+import (
+	"prism/internal/core"
+	"prism/internal/mem"
+	"prism/internal/migrate"
+	"prism/internal/node"
+	"prism/internal/policy"
+	"prism/internal/sim"
+)
+
+// Core types, re-exported.
+type (
+	// Config describes a machine (nodes, caches, timing, policy).
+	Config = core.Config
+	// Machine is a wired PRISM system; run workloads with Run.
+	Machine = core.Machine
+	// Results carries one run's measurements.
+	Results = core.Results
+	// Ctx is a processor's view of a running workload.
+	Ctx = core.Ctx
+	// Workload is an application: Setup allocates segments, Run
+	// executes on every simulated processor.
+	Workload = core.Workload
+	// Proc is one simulated processor (Read/Write/Compute/Barrier...).
+	Proc = node.Proc
+	// VAddr is a virtual address in a workload's address space.
+	VAddr = mem.VAddr
+	// Time is simulated time in processor cycles.
+	Time = sim.Time
+	// Policy selects page-frame modes at client page-fault time.
+	Policy = policy.Policy
+)
+
+// DefaultConfig returns the paper's 32-processor machine (8 nodes × 4
+// processors, 4KB pages, 64B lines, 8KB/32KB capacity-exposing caches,
+// 120-cycle network).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) { return core.NewMachine(cfg) }
+
+// PolicyByName returns one of the paper's six policies: "SCOMA",
+// "LANUMA", "SCOMA-70", "Dyn-FCFS", "Dyn-Util", "Dyn-LRU".
+func PolicyByName(name string) (Policy, error) { return policy.ByName(name) }
+
+// MustPolicy is PolicyByName that panics on error.
+func MustPolicy(name string) Policy {
+	p, err := policy.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Policies returns all six policies in the paper's Figure 7 order.
+func Policies() []Policy { return policy.All() }
+
+// NodeID identifies a node of the machine.
+type NodeID = mem.NodeID
+
+// MigrationPolicy parameterizes the run-time home-migration daemon
+// (§3.5 / Baylor et al.).
+type MigrationPolicy = migrate.Policy
+
+// MigrationDaemon periodically scans the controllers' per-page traffic
+// counters and migrates dominated pages.
+type MigrationDaemon = migrate.Daemon
+
+// DefaultMigrationPolicy is a conservative single-dominator policy.
+var DefaultMigrationPolicy = migrate.DefaultPolicy
+
+// AttachMigration starts a migration daemon on m, scanning every
+// interval cycles. Call before Machine.Run.
+func AttachMigration(m *Machine, interval Time, pol MigrationPolicy) *MigrationDaemon {
+	return migrate.Attach(m, interval, pol)
+}

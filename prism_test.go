@@ -1,0 +1,96 @@
+// Public-API tests: everything a downstream user touches must work
+// through the prism package alone.
+package prism_test
+
+import (
+	"strings"
+	"testing"
+
+	"prism"
+	"prism/workloads"
+)
+
+func TestDefaultConfigIsPaperMachine(t *testing.T) {
+	cfg := prism.DefaultConfig()
+	if cfg.Nodes != 8 || cfg.Node.Procs != 4 {
+		t.Fatalf("machine %dx%d, want 8x4", cfg.Nodes, cfg.Node.Procs)
+	}
+	if cfg.Geometry.PageSize != 4096 {
+		t.Fatalf("page size %d, want 4096", cfg.Geometry.PageSize)
+	}
+	if cfg.Net.Latency != 120 {
+		t.Fatalf("network latency %d, want 120", cfg.Net.Latency)
+	}
+	if cfg.Timing.TLBMiss != 30 || cfg.Timing.L2Hit != 12 {
+		t.Fatalf("timing %d/%d, want 30/12", cfg.Timing.TLBMiss, cfg.Timing.L2Hit)
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	pols := prism.Policies()
+	if len(pols) != 6 {
+		t.Fatalf("policies %d, want the paper's 6", len(pols))
+	}
+	for _, p := range pols {
+		got, err := prism.PolicyByName(p.Name())
+		if err != nil || got.Name() != p.Name() {
+			t.Errorf("round trip %s: %v", p.Name(), err)
+		}
+	}
+	if _, err := prism.PolicyByName("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPolicy on bad name did not panic")
+		}
+	}()
+	prism.MustPolicy("nope")
+}
+
+func TestEndToEndThroughPublicAPI(t *testing.T) {
+	cfg := workloads.ConfigForSize(workloads.MiniSize)
+	cfg.Policy = prism.MustPolicy("Dyn-FCFS")
+	m, err := prism.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(workloads.NewWaterSpa(workloads.MiniSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "water-spa" || res.Policy != "Dyn-FCFS" {
+		t.Fatalf("labels %q/%q", res.Workload, res.Policy)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"cycles", "remote misses", "utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("results text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMigrationThroughPublicAPI(t *testing.T) {
+	cfg := workloads.ConfigForSize(workloads.MiniSize)
+	cfg.Policy = prism.MustPolicy("LANUMA")
+	m, err := prism.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prism.AttachMigration(m, 30_000, prism.DefaultMigrationPolicy)
+	sc := workloads.DefaultSynthConfig()
+	sc.Iters = 2
+	sc.OpsPerIter = 800
+	if _, err := m.Run(workloads.NewSynth(sc)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Scans == 0 {
+		t.Error("daemon attached through public API never ran")
+	}
+}

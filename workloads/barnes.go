@@ -1,0 +1,322 @@
+package workloads
+
+import (
+	"math"
+
+	"prism"
+)
+
+// Barnes is the SPLASH-2 Barnes-Hut hierarchical N-body simulation
+// (Table 2: 8K particles, 4 iterations). Each iteration rebuilds the
+// octree over the shared body array and every processor then walks the
+// shared tree to compute forces on its bodies — the irregular,
+// pointer-chasing sharing pattern that makes Barnes the most
+// PIT-sensitive application in §4.3.
+type Barnes struct {
+	n     int
+	iters int
+	theta float64
+
+	bodiesA prism.VAddr
+	treeA   prism.VAddr
+
+	pos  [][3]float64
+	vel  [][3]float64
+	mass []float64
+
+	nodes []bhNode
+}
+
+const (
+	bodyBytes = 80  // pos+vel+mass+acc rounded to lines
+	nodeBytes = 128 // center+half+mass+com+children
+)
+
+type bhNode struct {
+	center [3]float64
+	half   float64
+	mass   float64
+	com    [3]float64
+	child  [8]int32 // node index, -1 empty
+	body   int32    // leaf body index, -1 internal
+}
+
+// NewBarnes builds the workload at the given size.
+func NewBarnes(size Size) *Barnes {
+	switch size {
+	case PaperSize:
+		return &Barnes{n: 8 << 10, iters: 4, theta: 1.0}
+	case CISize:
+		return &Barnes{n: 2 << 10, iters: 3, theta: 1.0}
+	default:
+		return &Barnes{n: 256, iters: 2, theta: 1.0}
+	}
+}
+
+// Name implements prism.Workload.
+func (w *Barnes) Name() string { return "barnes" }
+
+// Setup implements prism.Workload.
+func (w *Barnes) Setup(m *prism.Machine) error {
+	var err error
+	if w.bodiesA, err = m.Alloc("barnes.bodies", uint64(w.n*bodyBytes)); err != nil {
+		return err
+	}
+	// The node pool: at most ~2n internal nodes in practice; reserve 4n.
+	if w.treeA, err = m.Alloc("barnes.tree", uint64(4*w.n*nodeBytes)); err != nil {
+		return err
+	}
+	w.pos = make([][3]float64, w.n)
+	w.vel = make([][3]float64, w.n)
+	w.mass = make([]float64, w.n)
+	return nil
+}
+
+func (w *Barnes) bodyAddr(i int) prism.VAddr { return w.bodiesA + prism.VAddr(i*bodyBytes) }
+func (w *Barnes) nodeAddr(i int) prism.VAddr { return w.treeA + prism.VAddr(i*nodeBytes) }
+
+// Run implements prism.Workload.
+func (w *Barnes) Run(ctx *prism.Ctx) {
+	p := ctx.P
+	lo, hi := blockRange(ctx.ID, ctx.N, w.n)
+
+	// Plummer-ish sphere initialization of owned bodies.
+	r := rng("barnes", ctx.ID)
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 3; d++ {
+			w.pos[i][d] = r.Float64()*2 - 1
+			w.vel[i][d] = (r.Float64()*2 - 1) * 0.1
+		}
+		w.mass[i] = 1.0 / float64(w.n)
+		p.WriteRange(w.bodyAddr(i), bodyBytes)
+	}
+	p.Barrier(9)
+
+	ctx.BeginParallel()
+
+	const dt = 0.025
+	for it := 0; it < w.iters; it++ {
+		// Parallel tree build, as in SPLASH: processor 0 lays the
+		// root, then every processor inserts its own bodies under
+		// per-octant locks (the contended, irregular phase), issuing a
+		// read per traversed node and a write per created leaf.
+		if ctx.ID == 0 {
+			w.resetTree()
+			p.WriteRange(w.nodeAddr(0), nodeBytes)
+		}
+		p.Barrier(1)
+		for i := lo; i < hi; i++ {
+			p.Read(w.bodyAddr(i))
+			oct := w.octant(&w.nodes[0], int32(i))
+			p.Lock(16 + oct)
+			visited := w.insert(0, int32(i))
+			for v := 0; v < visited && v < 24; v++ {
+				p.Read(w.nodeAddr(v)) // path nodes (bounded charge)
+			}
+			p.WriteRange(w.nodeAddr(len(w.nodes)-1), nodeBytes)
+			p.Compute(prism.Time(visited) * 8)
+			p.Unlock(16 + oct)
+		}
+		p.Barrier(4)
+		// Processor 0 summarizes centers of mass (a short serial
+		// reduction pass over the finished tree, as in the original).
+		if ctx.ID == 0 {
+			w.summarize(0)
+			for i := range w.nodes {
+				p.Write(w.nodeAddr(i) + 32)
+			}
+			p.Compute(prism.Time(len(w.nodes)) * 4)
+		}
+		p.Barrier(5)
+
+		// Force computation: walk the shared tree for each owned body.
+		for i := lo; i < hi; i++ {
+			p.ReadRange(w.bodyAddr(i), bodyBytes)
+			acc := w.force(ctx, i)
+			// Integrate.
+			for d := 0; d < 3; d++ {
+				w.vel[i][d] += acc[d] * dt
+			}
+			p.Compute(64)
+		}
+		p.Barrier(2)
+
+		// Position update of owned bodies.
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				w.pos[i][d] += w.vel[i][d] * dt
+				// Keep the system bounded (reflecting walls).
+				if w.pos[i][d] > 2 {
+					w.pos[i][d], w.vel[i][d] = 2, -w.vel[i][d]
+				}
+				if w.pos[i][d] < -2 {
+					w.pos[i][d], w.vel[i][d] = -2, -w.vel[i][d]
+				}
+			}
+			p.WriteRange(w.bodyAddr(i), bodyBytes)
+			p.Compute(24)
+		}
+		p.Barrier(3)
+	}
+
+	ctx.EndParallel()
+}
+
+// resetTree clears the octree, leaving an empty root.
+func (w *Barnes) resetTree() {
+	w.nodes = w.nodes[:0]
+	root := bhNode{half: 2.5, body: -1}
+	for i := range root.child {
+		root.child[i] = -1
+	}
+	w.nodes = append(w.nodes, root)
+}
+
+func (w *Barnes) octant(n *bhNode, b int32) int {
+	o := 0
+	for d := 0; d < 3; d++ {
+		if w.pos[b][d] > n.center[d] {
+			o |= 1 << uint(d)
+		}
+	}
+	return o
+}
+
+func (w *Barnes) childCenter(n *bhNode, o int) ([3]float64, float64) {
+	h := n.half / 2
+	var c [3]float64
+	for d := 0; d < 3; d++ {
+		if o&(1<<uint(d)) != 0 {
+			c[d] = n.center[d] + h
+		} else {
+			c[d] = n.center[d] - h
+		}
+	}
+	return c, h
+}
+
+// insert places body b under node ni, returning the number of nodes
+// visited (the traffic the inserting processor is charged for).
+func (w *Barnes) insert(ni int, b int32) int {
+	visited := 0
+	for depth := 0; depth < 64; depth++ {
+		visited++
+		n := &w.nodes[ni]
+		o := w.octant(n, b)
+		ci := n.child[o]
+		if ci < 0 {
+			// Empty slot: place a leaf.
+			c, h := w.childCenter(n, o)
+			leaf := bhNode{center: c, half: h, body: b}
+			for i := range leaf.child {
+				leaf.child[i] = -1
+			}
+			w.nodes = append(w.nodes, leaf)
+			w.nodes[ni].child[o] = int32(len(w.nodes) - 1)
+			return visited
+		}
+		child := &w.nodes[ci]
+		if child.body >= 0 {
+			// Split the leaf: push its body down, then retry.
+			old := child.body
+			child.body = -1
+			visited += w.insert(int(ci), old)
+			visited += w.insert(int(ci), b)
+			return visited
+		}
+		ni = int(ci)
+	}
+	// Coincident points beyond max depth: merge into the node's mass.
+	w.nodes[ni].mass += w.mass[b]
+	return visited
+}
+
+// summarize computes masses and centers of mass bottom-up.
+func (w *Barnes) summarize(ni int) (float64, [3]float64) {
+	n := &w.nodes[ni]
+	if n.body >= 0 {
+		b := n.body
+		n.mass = w.mass[b]
+		n.com = w.pos[b]
+		return n.mass, n.com
+	}
+	var m float64
+	var com [3]float64
+	for _, ci := range n.child {
+		if ci < 0 {
+			continue
+		}
+		cm, cc := w.summarize(int(ci))
+		m += cm
+		for d := 0; d < 3; d++ {
+			com[d] += cm * cc[d]
+		}
+	}
+	if m > 0 {
+		for d := 0; d < 3; d++ {
+			com[d] /= m
+		}
+	}
+	n.mass = m
+	n.com = com
+	return m, com
+}
+
+// force walks the tree for body i, issuing a read per visited node.
+func (w *Barnes) force(ctx *prism.Ctx, i int) [3]float64 {
+	p := ctx.P
+	var acc [3]float64
+	var stack [128]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	visited := 0
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		n := &w.nodes[ni]
+		visited++
+		p.ReadRange(w.nodeAddr(int(ni)), nodeBytes)
+
+		var dr [3]float64
+		var dist2 float64
+		for d := 0; d < 3; d++ {
+			dr[d] = n.com[d] - w.pos[i][d]
+			dist2 += dr[d] * dr[d]
+		}
+		if n.body == int32(i) {
+			continue
+		}
+		size := 2 * n.half
+		if n.body >= 0 || size*size < w.theta*w.theta*dist2 {
+			// Accept: point-mass interaction.
+			dist2 += 1e-4 // softening
+			inv := n.mass / (dist2 * math.Sqrt(dist2))
+			for d := 0; d < 3; d++ {
+				acc[d] += dr[d] * inv
+			}
+			continue
+		}
+		for _, ci := range n.child {
+			if ci >= 0 && sp < len(stack) {
+				stack[sp] = ci
+				sp++
+			}
+		}
+	}
+	p.Compute(prism.Time(visited) * 12)
+	return acc
+}
+
+// Energyish returns a finite-check over the body state (tests).
+func (w *Barnes) Energyish() bool {
+	for i := range w.pos {
+		for d := 0; d < 3; d++ {
+			v := w.pos[i][d] + w.vel[i][d]
+			if v != v {
+				return false
+			}
+		}
+	}
+	return len(w.pos) > 0
+}

@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"prism"
+)
+
+// Ocean is the SPLASH-2 ocean-current simulation (Table 2: 258×258
+// grid). Like the original, its core is a multigrid solver for the
+// stream-function equations: red-black Gauss-Seidel relaxation at each
+// level, restriction of the residual down a hierarchy of
+// coarser grids, and prolongation of the correction back up. Grids are
+// partitioned by row blocks, so processors share boundary rows with
+// their neighbours, and the per-processor working set across the grid
+// hierarchy produces the heavy capacity traffic Ocean is known for
+// (the largest frame counts in Table 3).
+type Ocean struct {
+	dim    int // finest grid dimension (including border)
+	iters  int
+	levels int
+
+	// Per-level solution (u), right-hand side (rhs) and work arrays,
+	// finest first. Each level's dimension halves (+1 border row).
+	uA, rA, wA []prism.VAddr
+	u, rhs, wk [][]float64
+	dims       []int
+}
+
+// NewOcean builds the workload at the given size.
+func NewOcean(size Size) *Ocean {
+	switch size {
+	case PaperSize:
+		return &Ocean{dim: 258, iters: 4}
+	case CISize:
+		return &Ocean{dim: 130, iters: 4}
+	default:
+		return &Ocean{dim: 34, iters: 2}
+	}
+}
+
+// Name implements prism.Workload.
+func (w *Ocean) Name() string { return "ocean" }
+
+// Setup implements prism.Workload.
+func (w *Ocean) Setup(m *prism.Machine) error {
+	// Build the grid hierarchy down to ~18×18.
+	d := w.dim
+	for d >= 18 {
+		w.dims = append(w.dims, d)
+		d = d/2 + 1
+	}
+	w.levels = len(w.dims)
+	for lv, d := range w.dims {
+		n := d * d
+		ua, err := m.Alloc(segName("ocean.u", lv), uint64(n*8))
+		if err != nil {
+			return err
+		}
+		ra, err := m.Alloc(segName("ocean.rhs", lv), uint64(n*8))
+		if err != nil {
+			return err
+		}
+		wa, err := m.Alloc(segName("ocean.wk", lv), uint64(n*8))
+		if err != nil {
+			return err
+		}
+		w.uA = append(w.uA, ua)
+		w.rA = append(w.rA, ra)
+		w.wA = append(w.wA, wa)
+		w.u = append(w.u, make([]float64, n))
+		w.rhs = append(w.rhs, make([]float64, n))
+		w.wk = append(w.wk, make([]float64, n))
+	}
+	return nil
+}
+
+func segName(base string, lv int) string {
+	return base + string(rune('0'+lv))
+}
+
+// rows returns this processor's interior row range at level lv.
+func (w *Ocean) rows(ctx *prism.Ctx, lv int) (lo, hi int) {
+	lo, hi = blockRange(ctx.ID, ctx.N, w.dims[lv]-2)
+	return lo + 1, hi + 1
+}
+
+// Run implements prism.Workload.
+func (w *Ocean) Run(ctx *prism.Ctx) {
+	p := ctx.P
+	d0 := w.dims[0]
+	lo, hi := w.rows(ctx, 0)
+
+	// Initialize the finest level's owned rows (first touch places
+	// pages near their users).
+	r := rng("ocean", ctx.ID)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < d0; j++ {
+			w.u[0][i*d0+j] = r.Float64()
+			w.rhs[0][i*d0+j] = (r.Float64() - 0.5) * 0.1
+		}
+		p.WriteRange(f64(w.uA[0], i*d0), d0*8)
+		p.WriteRange(f64(w.rA[0], i*d0), d0*8)
+	}
+	p.Barrier(9)
+
+	ctx.BeginParallel()
+
+	for it := 0; it < w.iters; it++ {
+		// V-cycle: relax down the hierarchy, solve the coarsest,
+		// prolong corrections back up.
+		for lv := 0; lv < w.levels; lv++ {
+			for color := 0; color < 2; color++ {
+				w.relax(ctx, lv, color)
+				p.Barrier(1)
+			}
+			if lv < w.levels-1 {
+				w.restrict(ctx, lv)
+				p.Barrier(2)
+			}
+		}
+		// Extra relaxation at the coarsest level (cheap "solve").
+		for s := 0; s < 2; s++ {
+			for color := 0; color < 2; color++ {
+				w.relax(ctx, w.levels-1, color)
+				p.Barrier(3)
+			}
+		}
+		for lv := w.levels - 2; lv >= 0; lv-- {
+			w.prolong(ctx, lv)
+			p.Barrier(4)
+			for color := 0; color < 2; color++ {
+				w.relax(ctx, lv, color)
+				p.Barrier(5)
+			}
+		}
+	}
+
+	ctx.EndParallel()
+}
+
+// relax applies one red-black Gauss-Seidel sweep at level lv over the
+// owned rows. Boundary rows of neighbouring processors' blocks are
+// read remotely.
+func (w *Ocean) relax(ctx *prism.Ctx, lv, color int) {
+	p := ctx.P
+	d := w.dims[lv]
+	u, rhs := w.u[lv], w.rhs[lv]
+	ua, ra := w.uA[lv], w.rA[lv]
+	lo, hi := w.rows(ctx, lv)
+	const omega = 1.1
+	for i := lo; i < hi; i++ {
+		p.ReadRange(f64(ua, (i-1)*d), d*8)
+		p.ReadRange(f64(ua, (i+1)*d), d*8)
+		p.ReadRange(f64(ra, i*d), d*8)
+		p.WriteRange(f64(ua, i*d), d*8)
+		for j := 1 + (i+color)%2; j < d-1; j += 2 {
+			v := 0.25*(u[(i-1)*d+j]+u[(i+1)*d+j]+u[i*d+j-1]+u[i*d+j+1]-rhs[i*d+j]) - u[i*d+j]
+			u[i*d+j] += omega * v
+		}
+		p.Compute(prism.Time(d) * 4)
+	}
+}
+
+// restrict computes the residual at level lv and injects it as the
+// right-hand side of level lv+1 (full-weighting on the host, touch
+// traffic at line granularity).
+func (w *Ocean) restrict(ctx *prism.Ctx, lv int) {
+	p := ctx.P
+	df, dc := w.dims[lv], w.dims[lv+1]
+	uf, rf := w.u[lv], w.rhs[lv]
+	uc, rc := w.u[lv+1], w.rhs[lv+1]
+	loC, hiC := w.rows(ctx, lv+1)
+	for ic := loC; ic < hiC; ic++ {
+		i := 2*ic - 1
+		if i < 1 || i >= df-1 {
+			continue
+		}
+		p.ReadRange(f64(w.uA[lv], (i-1)*df), df*8)
+		p.ReadRange(f64(w.uA[lv], i*df), df*8)
+		p.ReadRange(f64(w.uA[lv], (i+1)*df), df*8)
+		p.WriteRange(f64(w.rA[lv+1], ic*dc), dc*8)
+		p.WriteRange(f64(w.uA[lv+1], ic*dc), dc*8)
+		for jc := 1; jc < dc-1; jc++ {
+			j := 2*jc - 1
+			if j < 1 || j >= df-1 {
+				continue
+			}
+			res := rf[i*df+j] - (uf[(i-1)*df+j] + uf[(i+1)*df+j] + uf[i*df+j-1] + uf[i*df+j+1] - 4*uf[i*df+j])
+			rc[ic*dc+jc] = res * 0.25
+			uc[ic*dc+jc] = 0
+		}
+		p.Compute(prism.Time(dc) * 6)
+	}
+}
+
+// prolong interpolates level lv+1's correction back onto level lv.
+func (w *Ocean) prolong(ctx *prism.Ctx, lv int) {
+	p := ctx.P
+	df, dc := w.dims[lv], w.dims[lv+1]
+	uf, uc := w.u[lv], w.u[lv+1]
+	loF, hiF := w.rows(ctx, lv)
+	for i := loF; i < hiF; i++ {
+		ic := (i + 1) / 2
+		if ic < 1 || ic >= dc-1 {
+			continue
+		}
+		p.ReadRange(f64(w.uA[lv+1], ic*dc), dc*8)
+		p.ReadRange(f64(w.uA[lv], i*df), df*8)
+		p.WriteRange(f64(w.uA[lv], i*df), df*8)
+		for j := 1; j < df-1; j++ {
+			jc := (j + 1) / 2
+			if jc < 1 || jc >= dc-1 {
+				continue
+			}
+			uf[i*df+j] += 0.5 * uc[ic*dc+jc]
+		}
+		p.Compute(prism.Time(df) * 3)
+	}
+}
+
+// Finite reports whether the grids contain only finite values (the
+// functional invariant checked by tests).
+func (w *Ocean) Finite() bool {
+	for _, lvl := range w.u {
+		for _, v := range lvl {
+			if v != v || v > 1e30 || v < -1e30 {
+				return false
+			}
+		}
+	}
+	return len(w.u) > 0
+}

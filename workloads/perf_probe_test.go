@@ -1,0 +1,25 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"prism"
+)
+
+func TestPerfProbe(t *testing.T) {
+	for _, name := range Names() {
+		for _, pol := range []string{"SCOMA", "LANUMA"} {
+			cfg := ConfigForSize(CISize)
+			cfg.Policy = prism.MustPolicy(pol)
+			m, _ := prism.New(cfg)
+			w, _ := ByName(name, CISize)
+			start := time.Now()
+			res, err := m.Run(w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, pol, err)
+			}
+			t.Logf("%-10s %-7s wall=%8v cycles=%12d refs=%10d remote=%8d", name, pol, time.Since(start).Round(time.Millisecond), res.Cycles, res.Refs, res.RemoteMisses)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"fmt"
+
+	"prism"
+)
+
+// Synth is a tunable synthetic workload for ablations and trace
+// inspection: each processor mixes sequential scans of a private
+// block, strided walks over a shared array, random accesses to a
+// shared hot set, and periodic barriers. The knobs expose exactly the
+// dimensions the page-mode trade-off depends on: working-set size,
+// sharing degree, write fraction and locality.
+type SynthConfig struct {
+	// SharedBytes is the size of the block-distributed shared array.
+	SharedBytes int
+	// HotBytes is the size of the globally hot (all-to-all) region.
+	HotBytes int
+	// PrivateBytes is each processor's private working set.
+	PrivateBytes int
+	// WritePct is the percentage of accesses that are stores (0-100).
+	WritePct int
+	// RandomPct is the percentage of shared accesses that go to the
+	// hot set at random (the rest scan the processor's own block).
+	RandomPct int
+	// Iters is the number of phases (barrier-separated).
+	Iters int
+	// OpsPerIter is the number of shared accesses per phase per proc.
+	OpsPerIter int
+	// ComputePerOp models processor work between references.
+	ComputePerOp int
+}
+
+// DefaultSynthConfig is a balanced medium-pressure configuration.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		SharedBytes:  128 << 10,
+		HotBytes:     8 << 10,
+		PrivateBytes: 16 << 10,
+		WritePct:     30,
+		RandomPct:    25,
+		Iters:        4,
+		OpsPerIter:   2000,
+		ComputePerOp: 4,
+	}
+}
+
+// Synth is the workload; construct with NewSynth.
+type Synth struct {
+	cfg    SynthConfig
+	shared prism.VAddr
+	hot    prism.VAddr
+}
+
+// NewSynth builds a synthetic workload.
+func NewSynth(cfg SynthConfig) *Synth {
+	if cfg.SharedBytes <= 0 || cfg.Iters <= 0 || cfg.OpsPerIter <= 0 {
+		panic(fmt.Sprintf("workloads: bad synth config %+v", cfg))
+	}
+	return &Synth{cfg: cfg}
+}
+
+// Name implements prism.Workload.
+func (w *Synth) Name() string { return "synth" }
+
+// Setup implements prism.Workload.
+func (w *Synth) Setup(m *prism.Machine) error {
+	var err error
+	if w.shared, err = m.Alloc("synth.shared", uint64(w.cfg.SharedBytes)); err != nil {
+		return err
+	}
+	if w.cfg.HotBytes > 0 {
+		if w.hot, err = m.Alloc("synth.hot", uint64(w.cfg.HotBytes)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run implements prism.Workload.
+func (w *Synth) Run(ctx *prism.Ctx) {
+	p := ctx.P
+	c := w.cfg
+	r := rng("synth", ctx.ID)
+	lo, hi := blockRange(ctx.ID, ctx.N, c.SharedBytes/64)
+
+	// First-touch own block and private region.
+	p.WriteRange(w.shared+prism.VAddr(lo*64), (hi-lo)*64)
+	if c.PrivateBytes > 0 {
+		p.WriteRange(ctx.PrivateBase(), c.PrivateBytes)
+	}
+	p.Barrier(9)
+
+	ctx.BeginParallel()
+	cursor := lo
+	for it := 0; it < c.Iters; it++ {
+		for op := 0; op < c.OpsPerIter; op++ {
+			write := r.Intn(100) < c.WritePct
+			var addr prism.VAddr
+			if c.HotBytes > 0 && r.Intn(100) < c.RandomPct {
+				addr = w.hot + prism.VAddr(r.Intn(c.HotBytes/64)*64)
+			} else {
+				addr = w.shared + prism.VAddr(cursor*64)
+				cursor++
+				if cursor >= hi {
+					cursor = lo
+				}
+			}
+			if write {
+				p.Write(addr)
+			} else {
+				p.Read(addr)
+			}
+			if c.ComputePerOp > 0 {
+				p.Compute(prism.Time(c.ComputePerOp))
+			}
+		}
+		// Private mixing keeps Local-mode frames in play.
+		if c.PrivateBytes > 0 {
+			p.ReadRange(ctx.PrivateBase(), c.PrivateBytes/4)
+		}
+		p.Barrier(1)
+	}
+	ctx.EndParallel()
+}

@@ -1,0 +1,343 @@
+package workloads
+
+import (
+	"math"
+
+	"prism"
+)
+
+// waterCommon holds the state shared by the two Water variants: n
+// water molecules with positions, velocities and force accumulators in
+// a shared array, integrated with a simple velocity-Verlet step under
+// a Lennard-Jones-style pair potential (standing in for the full
+// Matsuoka-Clementi-Yoshimine potential, whose compute cost is charged
+// via Compute).
+type waterCommon struct {
+	n     int
+	iters int
+
+	molsA prism.VAddr
+
+	pos [][3]float64
+	vel [][3]float64
+	frc [][3]float64
+	box float64
+}
+
+const molBytes = 128 // 3 atoms' worth of state, two lines
+
+func (w *waterCommon) molAddr(i int) prism.VAddr { return w.molsA + prism.VAddr(i*molBytes) }
+
+func (w *waterCommon) setupCommon(m *prism.Machine, name string) error {
+	var err error
+	if w.molsA, err = m.Alloc(name+".mols", uint64(w.n*molBytes)); err != nil {
+		return err
+	}
+	w.pos = make([][3]float64, w.n)
+	w.vel = make([][3]float64, w.n)
+	w.frc = make([][3]float64, w.n)
+	w.box = math.Cbrt(float64(w.n)) // unit density
+	return nil
+}
+
+func (w *waterCommon) initMols(ctx *prism.Ctx, name string) {
+	p := ctx.P
+	lo, hi := blockRange(ctx.ID, ctx.N, w.n)
+	r := rng(name, ctx.ID)
+	// Lattice placement with jitter, as WATER does.
+	side := int(math.Ceil(math.Cbrt(float64(w.n))))
+	for i := lo; i < hi; i++ {
+		x, y, z := i%side, (i/side)%side, i/(side*side)
+		w.pos[i] = [3]float64{
+			(float64(x) + 0.3 + 0.4*r.Float64()) * w.box / float64(side),
+			(float64(y) + 0.3 + 0.4*r.Float64()) * w.box / float64(side),
+			(float64(z) + 0.3 + 0.4*r.Float64()) * w.box / float64(side),
+		}
+		for d := 0; d < 3; d++ {
+			w.vel[i][d] = (r.Float64() - 0.5) * 0.05
+		}
+		p.WriteRange(w.molAddr(i), molBytes)
+	}
+}
+
+// ljForce computes the pair force between molecules i and j (host
+// math) with minimum-image periodic boundaries. It returns the force
+// on i; j receives the negation.
+func (w *waterCommon) ljForce(i, j int) ([3]float64, bool) {
+	var dr [3]float64
+	var d2 float64
+	for d := 0; d < 3; d++ {
+		dd := w.pos[j][d] - w.pos[i][d]
+		if dd > w.box/2 {
+			dd -= w.box
+		}
+		if dd < -w.box/2 {
+			dd += w.box
+		}
+		dr[d] = dd
+		d2 += dd * dd
+	}
+	cutoff := w.box / 3
+	if d2 > cutoff*cutoff || d2 == 0 {
+		return [3]float64{}, false
+	}
+	inv2 := 1 / (d2 + 0.05)
+	inv6 := inv2 * inv2 * inv2
+	f := 24 * inv6 * (2*inv6 - 1) * inv2 * 1e-3
+	var out [3]float64
+	for d := 0; d < 3; d++ {
+		out[d] = -f * dr[d]
+	}
+	return out, true
+}
+
+func (w *waterCommon) integrate(ctx *prism.Ctx) {
+	p := ctx.P
+	lo, hi := blockRange(ctx.ID, ctx.N, w.n)
+	const dt = 0.01
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 3; d++ {
+			w.vel[i][d] += w.frc[i][d] * dt
+			w.pos[i][d] += w.vel[i][d] * dt
+			// Periodic wrap.
+			if w.pos[i][d] >= w.box {
+				w.pos[i][d] -= w.box
+			}
+			if w.pos[i][d] < 0 {
+				w.pos[i][d] += w.box
+			}
+			w.frc[i][d] = 0
+		}
+		p.ReadRange(w.molAddr(i), molBytes)
+		p.WriteRange(w.molAddr(i), molBytes)
+		p.Compute(40)
+	}
+}
+
+// Finite is the functional sanity invariant used by tests.
+func (w *waterCommon) Finite() bool {
+	for i := range w.pos {
+		for d := 0; d < 3; d++ {
+			if w.pos[i][d] != w.pos[i][d] {
+				return false
+			}
+		}
+	}
+	return len(w.pos) > 0
+}
+
+// ---------------------------------------------------------------------------
+
+// WaterNsq is the O(n²) Water variant (Table 2: 512 molecules, 3
+// iterations): every processor computes interactions between its
+// molecules and half of all others, updating the partner's force
+// accumulator under a per-molecule lock — all-to-all read sharing with
+// fine-grain locked writes.
+type WaterNsq struct {
+	waterCommon
+}
+
+// NewWaterNsq builds the workload at the given size.
+func NewWaterNsq(size Size) *WaterNsq {
+	w := &WaterNsq{}
+	switch size {
+	case PaperSize:
+		w.n, w.iters = 512, 3
+	case CISize:
+		w.n, w.iters = 216, 2
+	default:
+		w.n, w.iters = 64, 2
+	}
+	return w
+}
+
+// Name implements prism.Workload.
+func (w *WaterNsq) Name() string { return "water-nsq" }
+
+// Setup implements prism.Workload.
+func (w *WaterNsq) Setup(m *prism.Machine) error { return w.setupCommon(m, "water-nsq") }
+
+// Run implements prism.Workload.
+func (w *WaterNsq) Run(ctx *prism.Ctx) {
+	p := ctx.P
+	lo, hi := blockRange(ctx.ID, ctx.N, w.n)
+	w.initMols(ctx, "water-nsq")
+	p.Barrier(9)
+
+	ctx.BeginParallel()
+
+	nlocks := 64
+	for it := 0; it < w.iters; it++ {
+		// Force phase: each processor handles pairs (i, i+1..i+n/2).
+		for i := lo; i < hi; i++ {
+			p.ReadRange(w.molAddr(i), molBytes)
+			var acc [3]float64
+			for off := 1; off <= w.n/2; off++ {
+				j := (i + off) % w.n
+				p.Read(w.molAddr(j))
+				f, ok := w.ljForce(i, j)
+				if !ok {
+					continue
+				}
+				for d := 0; d < 3; d++ {
+					acc[d] += f[d]
+				}
+				// Update the partner's accumulator under its lock.
+				lk := j % nlocks
+				p.Lock(lk)
+				for d := 0; d < 3; d++ {
+					w.frc[j][d] -= f[d]
+				}
+				p.Write(w.molAddr(j) + 64)
+				p.Unlock(lk)
+			}
+			lk := i % nlocks
+			p.Lock(lk)
+			for d := 0; d < 3; d++ {
+				w.frc[i][d] += acc[d]
+			}
+			p.Write(w.molAddr(i) + 64)
+			p.Unlock(lk)
+			p.Compute(prism.Time(w.n/2) * 8)
+		}
+		p.Barrier(1)
+		w.integrate(ctx)
+		p.Barrier(2)
+	}
+
+	ctx.EndParallel()
+}
+
+// ---------------------------------------------------------------------------
+
+// WaterSpa is the O(n) spatial Water variant (Table 2: 512 molecules,
+// 3 iterations): molecules are binned into a 3-D cell grid with cell
+// edge ≥ the cutoff radius, so each molecule interacts only with the
+// 27 surrounding cells — far less sharing and the smallest footprint
+// in Table 3.
+type WaterSpa struct {
+	waterCommon
+	cellsA prism.VAddr
+	ncell  int
+	cells  [][]int32
+}
+
+// NewWaterSpa builds the workload at the given size.
+func NewWaterSpa(size Size) *WaterSpa {
+	w := &WaterSpa{}
+	switch size {
+	case PaperSize:
+		w.n, w.iters = 512, 3
+	case CISize:
+		w.n, w.iters = 216, 2
+	default:
+		w.n, w.iters = 64, 2
+	}
+	return w
+}
+
+// Name implements prism.Workload.
+func (w *WaterSpa) Name() string { return "water-spa" }
+
+// Setup implements prism.Workload.
+func (w *WaterSpa) Setup(m *prism.Machine) error {
+	if err := w.setupCommon(m, "water-spa"); err != nil {
+		return err
+	}
+	w.ncell = int(math.Cbrt(float64(w.n)) / 2)
+	if w.ncell < 2 {
+		w.ncell = 2
+	}
+	n3 := w.ncell * w.ncell * w.ncell
+	var err error
+	if w.cellsA, err = m.Alloc("water-spa.cells", uint64(n3*64)); err != nil {
+		return err
+	}
+	w.cells = make([][]int32, n3)
+	return nil
+}
+
+func (w *WaterSpa) cellOf(i int) int {
+	c := 0
+	mul := 1
+	for d := 0; d < 3; d++ {
+		v := int(w.pos[i][d] / w.box * float64(w.ncell))
+		v = clampi(v, 0, w.ncell-1)
+		c += v * mul
+		mul *= w.ncell
+	}
+	return c
+}
+
+// Run implements prism.Workload.
+func (w *WaterSpa) Run(ctx *prism.Ctx) {
+	p := ctx.P
+	lo, hi := blockRange(ctx.ID, ctx.N, w.n)
+	w.initMols(ctx, "water-spa")
+	p.Barrier(9)
+
+	ctx.BeginParallel()
+
+	for it := 0; it < w.iters; it++ {
+		// Rebuild cell lists: processor 0 clears, everyone inserts own
+		// molecules under a cell lock.
+		if ctx.ID == 0 {
+			for c := range w.cells {
+				w.cells[c] = w.cells[c][:0]
+			}
+		}
+		p.Barrier(1)
+		for i := lo; i < hi; i++ {
+			c := w.cellOf(i)
+			p.Lock(c % 64)
+			w.cells[c] = append(w.cells[c], int32(i))
+			p.Write(w.cellsA + prism.VAddr(c*64))
+			p.Unlock(c % 64)
+		}
+		p.Barrier(2)
+
+		// Force phase: owned molecules against the 27 neighbour cells.
+		for i := lo; i < hi; i++ {
+			p.ReadRange(w.molAddr(i), molBytes)
+			ci := w.cellOf(i)
+			cx, cy, cz := ci%w.ncell, (ci/w.ncell)%w.ncell, ci/(w.ncell*w.ncell)
+			var acc [3]float64
+			pairs := 0
+			for dz := -1; dz <= 1; dz++ {
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx := (cx + dx + w.ncell) % w.ncell
+						ny := (cy + dy + w.ncell) % w.ncell
+						nz := (cz + dz + w.ncell) % w.ncell
+						nc := (nz*w.ncell+ny)*w.ncell + nx
+						p.Read(w.cellsA + prism.VAddr(nc*64))
+						for _, j := range w.cells[nc] {
+							if int(j) == i {
+								continue
+							}
+							p.Read(w.molAddr(int(j)))
+							f, ok := w.ljForce(i, int(j))
+							if !ok {
+								continue
+							}
+							pairs++
+							for d := 0; d < 3; d++ {
+								acc[d] += f[d]
+							}
+						}
+					}
+				}
+			}
+			for d := 0; d < 3; d++ {
+				w.frc[i][d] = acc[d] * 2 // full pairwise sum (both directions)
+			}
+			p.Write(w.molAddr(i) + 64)
+			p.Compute(prism.Time(pairs)*8 + 27)
+		}
+		p.Barrier(3)
+		w.integrate(ctx)
+		p.Barrier(4)
+	}
+
+	ctx.EndParallel()
+}
