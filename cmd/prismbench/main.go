@@ -6,9 +6,13 @@
 //	prismbench -exp fig7,table3,table4,table5 -size ci
 //	prismbench -exp pit                    # §4.3 PIT study
 //	prismbench -exp all -size ci
+//	prismbench -exp fig7 -size ci -verify results_ci.csv   # regression gate
 //
 // Figure 7 and Tables 3-5 come from the same six-policy sweep, which
-// is run once per invocation when any of them is requested.
+// is run once per invocation when any of them is requested. Sweep
+// cells run concurrently on -j workers (default: all host cores); each
+// cell is an independent deterministic simulation, so the output is
+// byte-identical to a -seq run at any -j.
 package main
 
 import (
@@ -27,6 +31,9 @@ func main() {
 	apps := flag.String("apps", "", "comma-separated app subset (default all eight)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	csvPath := flag.String("csv", "", "also write the sweep's raw per-run results as CSV")
+	jobs := flag.Int("j", 0, "max concurrent runs (0 = all host cores)")
+	seq := flag.Bool("seq", false, "force the sequential sweep path (same as -j 1)")
+	verify := flag.String("verify", "", "compare the sweep's CSV against this reference file and fail on divergence")
 	flag.Parse()
 
 	size, err := parseSize(*sizeFlag)
@@ -44,12 +51,18 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Size: size}
+	opts := harness.Options{Size: size, Workers: *jobs}
+	if *seq {
+		opts.Workers = 1
+	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	if *verify != "" && !(want["fig7"] || want["table3"] || want["table4"] || want["table5"]) {
+		fatal(fmt.Errorf("-verify needs the policy sweep (fig7/table3/table4/table5)"))
 	}
 
 	if want["table1"] {
@@ -79,6 +92,12 @@ func main() {
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		if *verify != "" {
+			if err := harness.VerifyAgainstFile(runs, *verify); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "verify: sweep matches %s\n", *verify)
 		}
 		if want["fig7"] {
 			fmt.Println(harness.FormatFig7(runs))

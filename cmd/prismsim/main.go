@@ -1,36 +1,53 @@
-// Command prismsim runs one application under one page-mode policy on
-// the simulated PRISM machine and prints the run's statistics.
+// Command prismsim runs one or more applications under one or more
+// page-mode policies on the simulated PRISM machine and prints each
+// run's statistics.
 //
 // Usage:
 //
 //	prismsim -app fft -policy Dyn-LRU -size ci [-cap-frac 0.7] [-pit 2]
+//	prismsim -app fft,ocean -policy SCOMA,Dyn-LRU -size ci -j 8
 //
 // Capped policies (SCOMA-70, Dyn-*) automatically run a SCOMA sizing
-// pass first, exactly like the paper's methodology.
+// pass first, exactly like the paper's methodology. With comma-
+// separated -app/-policy lists the cells execute concurrently on -j
+// workers (default: all host cores; -seq forces one at a time); every
+// cell owns a private machine, so the printed results are identical at
+// any -j, in app-major, policy-minor order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prism"
+	"prism/internal/harness"
 	"prism/internal/sim"
 	"prism/workloads"
 )
 
 func main() {
-	app := flag.String("app", "fft", "application: barnes|fft|lu|mp3d|ocean|radix|water-nsq|water-spa")
-	pol := flag.String("policy", "SCOMA", "policy: SCOMA|LANUMA|SCOMA-70|Dyn-FCFS|Dyn-Util|Dyn-LRU")
+	app := flag.String("app", "fft", "application (comma-separated list allowed): barnes|fft|lu|mp3d|ocean|radix|water-nsq|water-spa")
+	pol := flag.String("policy", "SCOMA", "policy (comma-separated list allowed): SCOMA|LANUMA|SCOMA-70|Dyn-FCFS|Dyn-Util|Dyn-LRU")
 	sizeFlag := flag.String("size", "ci", "data-set size: mini|ci|paper")
 	capFrac := flag.Float64("cap-frac", 0.70, "page-cache fraction of SCOMA max (capped policies)")
 	pit := flag.Uint64("pit", 0, "PIT access time override in cycles (0 = default 2)")
+	jobs := flag.Int("j", 0, "max concurrent runs for multi-cell invocations (0 = all host cores)")
+	seq := flag.Bool("seq", false, "force sequential execution (same as -j 1)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeFlag)
 	if err != nil {
 		fatal(err)
 	}
+	apps := strings.Split(*app, ",")
+	pols := strings.Split(*pol, ",")
+	if len(apps) > 1 || len(pols) > 1 {
+		runSweep(apps, pols, size, *capFrac, *pit, *jobs, *seq)
+		return
+	}
+
 	policy, err := prism.PolicyByName(*pol)
 	if err != nil {
 		fatal(err)
@@ -58,6 +75,42 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(res)
+}
+
+// runSweep executes an app × policy grid through the harness worker
+// pool (the SCOMA sizing pass runs per app, as always) and prints the
+// requested cells in deterministic order.
+func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uint64, jobs int, seq bool) {
+	for _, p := range pols {
+		if _, err := prism.PolicyByName(p); err != nil {
+			fatal(err)
+		}
+	}
+	opts := harness.Options{
+		Size:        size,
+		Apps:        apps,
+		Policies:    pols,
+		CapFraction: capFrac,
+		PITAccess:   sim.Time(pit),
+		Log:         os.Stderr,
+		Workers:     jobs,
+	}
+	if seq {
+		opts.Workers = 1
+	}
+	runs, err := harness.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, ar := range runs {
+		for _, p := range pols {
+			res, ok := ar.ByPol[p]
+			if !ok {
+				continue
+			}
+			fmt.Print(res)
+		}
+	}
 }
 
 func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64) (prism.Results, error) {

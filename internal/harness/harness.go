@@ -7,8 +7,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"prism"
 	"prism/internal/core"
@@ -31,8 +33,16 @@ type Options struct {
 	// CapFraction is the page-cache fraction of the SCOMA maximum
 	// used by capped policies (the paper's 0.70).
 	CapFraction float64
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Writes are
+	// serialized by an internal mutex, so lines stay atomic even
+	// when runs execute concurrently.
 	Log io.Writer
+	// Workers bounds how many runs execute concurrently: 0 means
+	// GOMAXPROCS, 1 forces the sequential path. Every run owns a
+	// private Machine, so results are bit-identical at any width.
+	Workers int
+
+	logMu *sync.Mutex
 }
 
 func (o *Options) defaults() {
@@ -45,12 +55,28 @@ func (o *Options) defaults() {
 	if o.CapFraction == 0 {
 		o.CapFraction = 0.70
 	}
+	if o.logMu == nil {
+		o.logMu = &sync.Mutex{}
+	}
+}
+
+// workers resolves the effective worker count.
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o *Options) logf(format string, args ...interface{}) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
+	if o.Log == nil {
+		return
 	}
+	if o.logMu != nil {
+		o.logMu.Lock()
+		defer o.logMu.Unlock()
+	}
+	fmt.Fprintf(o.Log, format+"\n", args...)
 }
 
 // AppRun holds one application's results across policies.
@@ -100,12 +126,42 @@ func (o *Options) runOne(app, polName string, caps []int) (prism.Results, error)
 	return res, nil
 }
 
+// capsFor derives the per-node page-cache caps for the capped policies
+// from a SCOMA sizing run: CapFraction × per-node max client frames,
+// floored at one frame. Both the sequential and parallel paths use it,
+// so the two-pass methodology is identical in either mode.
+func capsFor(scoma prism.Results, frac float64) []int {
+	caps := make([]int, len(scoma.MaxClientFrames))
+	for i, c := range scoma.MaxClientFrames {
+		cap := int(float64(c) * frac)
+		if cap < 1 {
+			cap = 1
+		}
+		caps[i] = cap
+	}
+	return caps
+}
+
 // Run executes the full sweep: for each app, a SCOMA pass sizes the
 // page cache (CapFraction × per-node max client frames), then every
 // requested policy runs. The SCOMA pass is reused as the SCOMA result
 // when requested.
+//
+// With Workers != 1 the sweep runs on a worker pool (see parallel.go):
+// pass 1 executes every app's SCOMA sizing run as one wave, pass 2
+// executes the remaining app × policy cells. Each cell builds a
+// private Machine, so the aggregation — and the resulting CSV — is
+// byte-identical to the sequential path's.
 func Run(opts Options) ([]AppRun, error) {
 	opts.defaults()
+	if opts.workers() > 1 {
+		return runParallel(&opts)
+	}
+	return runSequential(&opts)
+}
+
+// runSequential is the original single-goroutine sweep loop.
+func runSequential(opts *Options) ([]AppRun, error) {
 	var out []AppRun
 	for _, app := range opts.Apps {
 		opts.logf("%s:", app)
@@ -116,14 +172,7 @@ func Run(opts Options) ([]AppRun, error) {
 			return nil, err
 		}
 		ar.ByPol["SCOMA"] = scoma
-		ar.Caps = make([]int, len(scoma.MaxClientFrames))
-		for i, c := range scoma.MaxClientFrames {
-			cap := int(float64(c) * opts.CapFraction)
-			if cap < 1 {
-				cap = 1
-			}
-			ar.Caps[i] = cap
-		}
+		ar.Caps = capsFor(scoma, opts.CapFraction)
 
 		for _, pol := range opts.Policies {
 			if pol == "SCOMA" {
@@ -264,6 +313,9 @@ type PITRow struct {
 // translation signal at small scales).
 func RunPITSweep(opts Options) ([]PITRow, error) {
 	opts.defaults()
+	if opts.workers() > 1 {
+		return runPITParallel(&opts)
+	}
 	var out []PITRow
 	for _, app := range opts.Apps {
 		opts.logf("%s (PIT sweep):", app)

@@ -1,0 +1,148 @@
+// Parallel sweep execution. Every (app, policy, config) cell is an
+// independent deterministic simulation — a private sim.Engine, Machine
+// and workload instance per run, nothing shared but read-only config —
+// so cells can execute on a worker pool without changing any result.
+// The two-pass SCOMA-70 methodology survives as two waves: pass 1 runs
+// every app's SCOMA sizing cell, pass 2 runs the remaining cells with
+// the caps pass 1 derived. Results land in index-addressed slices and
+// are aggregated in deterministic order afterwards, so the output —
+// including the CSV dump — is byte-identical to the sequential path.
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"prism"
+)
+
+// forEachIndexed runs fn(0), ..., fn(n-1) on up to w concurrent
+// workers, each call exactly once. All indices run even if some fail;
+// the returned error is the lowest-indexed failure — the same cell a
+// sequential loop would have reported first — so error behaviour is
+// deterministic regardless of scheduling.
+func forEachIndexed(n, w int, fn func(i int) error) error {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next int64 = -1
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParallel executes the sweep on a worker pool in two waves.
+func runParallel(o *Options) ([]AppRun, error) {
+	w := o.workers()
+	runs := make([]AppRun, len(o.Apps))
+
+	// Pass 1: SCOMA sizing for every app.
+	o.logf("pass 1: SCOMA sizing, %d apps on %d workers", len(o.Apps), w)
+	err := forEachIndexed(len(o.Apps), w, func(i int) error {
+		scoma, err := o.runOne(o.Apps[i], "SCOMA", nil)
+		if err != nil {
+			return err
+		}
+		runs[i] = AppRun{
+			App:   o.Apps[i],
+			ByPol: map[string]prism.Results{"SCOMA": scoma},
+			Caps:  capsFor(scoma, o.CapFraction),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: every remaining app × policy cell.
+	type cell struct{ app, pol int }
+	var cells []cell
+	for a := range o.Apps {
+		for p, pol := range o.Policies {
+			if pol == "SCOMA" {
+				continue
+			}
+			cells = append(cells, cell{a, p})
+		}
+	}
+	o.logf("pass 2: %d cells on %d workers", len(cells), w)
+	results := make([]prism.Results, len(cells))
+	err = forEachIndexed(len(cells), w, func(i int) error {
+		c := cells[i]
+		res, err := o.runOne(o.Apps[c.app], o.Policies[c.pol], runs[c.app].Caps)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		runs[c.app].ByPol[o.Policies[c.pol]] = results[i]
+	}
+	return runs, nil
+}
+
+// runPITParallel executes the §4.3 PIT sweep's 2×apps cells on a pool.
+func runPITParallel(o *Options) ([]PITRow, error) {
+	w := o.workers()
+	o.logf("PIT sweep: %d cells on %d workers", 2*len(o.Apps), w)
+	results := make([]prism.Results, 2*len(o.Apps))
+	err := forEachIndexed(len(results), w, func(i int) error {
+		cellOpts := *o
+		if i%2 == 0 {
+			cellOpts.PITAccess = 2
+		} else {
+			cellOpts.PITAccess = 10
+		}
+		res, err := cellOpts.runOne(o.Apps[i/2], "LANUMA", nil)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PITRow, len(o.Apps))
+	for i, app := range o.Apps {
+		fast, slow := results[2*i], results[2*i+1]
+		out[i] = PITRow{
+			App:      app,
+			Fast:     fast.Cycles,
+			Slow:     slow.Cycles,
+			Increase: float64(slow.Cycles)/float64(fast.Cycles) - 1,
+		}
+	}
+	return out, nil
+}

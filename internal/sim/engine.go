@@ -9,11 +9,22 @@
 // Determinism: events are ordered by (time, sequence number), exactly
 // one goroutine runs at any instant, and all model state is mutated
 // only from engine context or from the single running coroutine.
+//
+// One-engine-per-goroutine invariant: an Engine — and every model
+// object attached to it (resources, networks, machines) — is confined
+// to the single goroutine that drives Run. The workload coroutines an
+// engine manages obey a strict handoff, so they never violate this.
+// Engines share no package state: distinct Engine instances are fully
+// independent and may run concurrently on distinct goroutines, which
+// is exactly how the parallel experiment harness executes one Machine
+// per worker. Run detects concurrent entry from a second goroutine and
+// panics rather than corrupting the event queue.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is a simulated time in processor cycles.
@@ -54,8 +65,10 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 
-	// running is diagnostic: true while inside Run.
-	running bool
+	// running guards Run: set while processing events, checked
+	// atomically so that reentrant *and* cross-goroutine misuse
+	// fails deterministically instead of racing on the heap.
+	running atomic.Bool
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
@@ -89,12 +102,14 @@ func (e *Engine) Pending() int { return len(e.events) }
 
 // Run processes events in time order until the queue drains or the
 // clock would pass limit. It returns the number of events processed.
+// Run is not reentrant and must not be invoked on the same engine from
+// two goroutines: each goroutine needs its own Engine (see the package
+// comment's one-engine-per-goroutine invariant).
 func (e *Engine) Run(limit Time) int {
-	if e.running {
-		panic("sim: Engine.Run is not reentrant")
+	if !e.running.CompareAndSwap(false, true) {
+		panic("sim: Engine.Run entered twice (reentrant or concurrent use; one engine per goroutine)")
 	}
-	e.running = true
-	defer func() { e.running = false }()
+	defer e.running.Store(false)
 
 	n := 0
 	for len(e.events) > 0 {
