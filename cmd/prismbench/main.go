@@ -34,6 +34,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent runs (0 = all host cores)")
 	seq := flag.Bool("seq", false, "force the sequential sweep path (same as -j 1)")
 	verify := flag.String("verify", "", "compare the sweep's CSV against this reference file and fail on divergence")
+	metricsDir := flag.String("metrics", "", "write each sweep cell's telemetry export to this directory (<app>_<policy>.json; analyze with prismstat)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeFlag)
@@ -51,7 +52,7 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Size: size, Workers: *jobs}
+	opts := harness.Options{Size: size, Workers: *jobs, MetricsDir: *metricsDir}
 	if *seq {
 		opts.Workers = 1
 	}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"prism"
@@ -35,6 +36,8 @@ func main() {
 	pit := flag.Uint64("pit", 0, "PIT access time override in cycles (0 = default 2)")
 	jobs := flag.Int("j", 0, "max concurrent runs for multi-cell invocations (0 = all host cores)")
 	seq := flag.Bool("seq", false, "force sequential execution (same as -j 1)")
+	metricsDir := flag.String("metrics", "", "write each run's telemetry export to this directory (<app>_<policy>.json; analyze with prismstat)")
+	sample := flag.Uint64("sample", 0, "also record interval snapshots every N cycles in the export (single-run mode only; 0 = final snapshot only)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeFlag)
@@ -44,7 +47,7 @@ func main() {
 	apps := strings.Split(*app, ",")
 	pols := strings.Split(*pol, ",")
 	if len(apps) > 1 || len(pols) > 1 {
-		runSweep(apps, pols, size, *capFrac, *pit, *jobs, *seq)
+		runSweep(apps, pols, size, *capFrac, *pit, *jobs, *seq, *metricsDir)
 		return
 	}
 
@@ -56,7 +59,7 @@ func main() {
 	var caps []int
 	if needsCap(policy.Name()) {
 		fmt.Fprintf(os.Stderr, "sizing pass (SCOMA)...\n")
-		res, err := runOnce(*app, "SCOMA", size, nil, *pit)
+		res, err := runOnce(*app, "SCOMA", size, nil, *pit, "", 0)
 		if err != nil {
 			fatal(err)
 		}
@@ -70,7 +73,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "page-cache caps per node: %v\n", caps)
 	}
 
-	res, err := runOnce(*app, policy.Name(), size, caps, *pit)
+	res, err := runOnce(*app, policy.Name(), size, caps, *pit, *metricsDir, sim.Time(*sample))
 	if err != nil {
 		fatal(err)
 	}
@@ -80,7 +83,7 @@ func main() {
 // runSweep executes an app × policy grid through the harness worker
 // pool (the SCOMA sizing pass runs per app, as always) and prints the
 // requested cells in deterministic order.
-func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uint64, jobs int, seq bool) {
+func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uint64, jobs int, seq bool, metricsDir string) {
 	for _, p := range pols {
 		if _, err := prism.PolicyByName(p); err != nil {
 			fatal(err)
@@ -94,6 +97,7 @@ func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uin
 		PITAccess:   sim.Time(pit),
 		Log:         os.Stderr,
 		Workers:     jobs,
+		MetricsDir:  metricsDir,
 	}
 	if seq {
 		opts.Workers = 1
@@ -113,7 +117,7 @@ func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uin
 	}
 }
 
-func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64) (prism.Results, error) {
+func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, metricsDir string, sample sim.Time) (prism.Results, error) {
 	cfg := workloads.ConfigForSize(size)
 	p, err := prism.PolicyByName(polName)
 	if err != nil {
@@ -128,11 +132,28 @@ func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64) (
 	if err != nil {
 		return prism.Results{}, err
 	}
+	if metricsDir != "" && sample != 0 {
+		m.SampleMetrics(sample)
+	}
 	w, err := workloads.ByName(app, size)
 	if err != nil {
 		return prism.Results{}, err
 	}
-	return m.Run(w)
+	res, err := m.Run(w)
+	if err != nil {
+		return prism.Results{}, err
+	}
+	if metricsDir != "" {
+		if err := os.MkdirAll(metricsDir, 0o755); err != nil {
+			return prism.Results{}, err
+		}
+		path := filepath.Join(metricsDir, fmt.Sprintf("%s_%s.json", app, polName))
+		if err := m.ExportMetrics(app, polName).WriteJSONFile(path); err != nil {
+			return prism.Results{}, err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return res, nil
 }
 
 func needsCap(pol string) bool {

@@ -1,0 +1,124 @@
+// Command prismstat analyzes telemetry exports written by prismsim and
+// prismbench (-metrics <dir>): per-component summary tables of one run,
+// CSV conversion, and diffs between two runs with percent deltas.
+//
+// Usage:
+//
+//	prismstat summary run/fft_SCOMA.json
+//	prismstat csv run/fft_SCOMA.json > fft_scoma.csv
+//	prismstat diff a/fft_SCOMA.json b/fft_SCOMA.json
+//	prismstat diff -only network,coherence/msg_ -fail a.json b.json
+//
+// diff compares every metric present in either export (missing sides
+// are reported as "new"/"gone"); -only restricts the comparison to
+// metrics whose component (or component/name prefix) matches one of
+// the comma-separated filters, and -fail exits nonzero when any
+// compared metric differs — the CI regression-gate mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prism/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage:
+  prismstat summary <export.json>
+  prismstat csv <export.json>
+  prismstat diff [-only comp[/prefix],...] [-all] [-fail] <a.json> <b.json>`
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, usage)
+		return 2
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:], stdout, stderr)
+	case "csv":
+		return runCSV(args[1:], stdout, stderr)
+	case "diff":
+		return runDiff(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprintln(stdout, usage)
+		return 0
+	}
+	fmt.Fprintf(stderr, "prismstat: unknown command %q\n%s\n", args[0], usage)
+	return 2
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: prismstat summary <export.json>")
+		return 2
+	}
+	e, err := metrics.ReadExportFile(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "prismstat:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, metrics.FormatSummary(e))
+	return 0
+}
+
+func runCSV(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: prismstat csv <export.json>")
+		return 2
+	}
+	e, err := metrics.ReadExportFile(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "prismstat:", err)
+		return 1
+	}
+	if err := e.WriteCSV(stdout); err != nil {
+		fmt.Fprintln(stderr, "prismstat:", err)
+		return 1
+	}
+	return 0
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated component (or component/name-prefix) filters")
+	all := fs.Bool("all", false, "also list unchanged metrics")
+	failOnDelta := fs.Bool("fail", false, "exit nonzero if any compared metric differs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: prismstat diff [-only ...] [-all] [-fail] <a.json> <b.json>")
+		return 2
+	}
+	a, err := metrics.ReadExportFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "prismstat:", err)
+		return 1
+	}
+	b, err := metrics.ReadExportFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "prismstat:", err)
+		return 1
+	}
+	var filters []string
+	if *only != "" {
+		filters = strings.Split(*only, ",")
+	}
+	deltas := metrics.Diff(a, b, filters)
+	fmt.Fprint(stdout, metrics.FormatDiff(deltas, *all))
+	if *failOnDelta && len(metrics.Changed(deltas)) > 0 {
+		fmt.Fprintln(stderr, "prismstat: metrics diverge")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prism/internal/metrics"
+)
+
+// writeExport builds a small export on disk for the CLI to consume.
+func writeExport(t *testing.T, path string, faults uint64) {
+	t.Helper()
+	e := &metrics.Export{
+		Schema:   metrics.Schema,
+		Workload: "fft",
+		Policy:   "SCOMA",
+		Cycles:   1000,
+		Points: []metrics.Point{
+			{Component: "kernel", Name: "faults", Node: 0, Kind: metrics.KindCounter, Value: faults},
+			{Component: "network", Name: "messages", Node: metrics.MachineScope, Kind: metrics.KindCounter, Value: 42},
+		},
+	}
+	if err := e.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.json")
+	writeExport(t, p, 7)
+	var out, errb strings.Builder
+	if code := run([]string{"summary", p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"workload=fft policy=SCOMA cycles=1000", "faults", "messages"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.json")
+	writeExport(t, p, 7)
+	var out, errb strings.Builder
+	if code := run([]string{"csv", p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "kernel,faults,0,counter,7") {
+		t.Errorf("csv missing kernel row:\n%s", out.String())
+	}
+}
+
+func TestDiffIdenticalIsZeroAndPasses(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeExport(t, a, 7)
+	writeExport(t, b, 7)
+	var out, errb strings.Builder
+	if code := run([]string{"diff", "-fail", a, b}, &out, &errb); code != 0 {
+		t.Fatalf("identical exports must pass -fail: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 differ") {
+		t.Errorf("want zero-delta footer:\n%s", out.String())
+	}
+}
+
+func TestDiffDivergenceFails(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeExport(t, a, 7)
+	writeExport(t, b, 9)
+	var out, errb strings.Builder
+	if code := run([]string{"diff", "-fail", a, b}, &out, &errb); code != 1 {
+		t.Fatalf("divergent exports must fail: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "kernel/faults") {
+		t.Errorf("diff output missing changed metric:\n%s", out.String())
+	}
+	// The filter excludes the changed metric: diff passes.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"diff", "-fail", "-only", "network", a, b}, &out, &errb); code != 0 {
+		t.Fatalf("filtered diff must pass: exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+	if code := run([]string{"summary", "/nonexistent.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

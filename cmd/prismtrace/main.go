@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"prism"
@@ -20,19 +21,32 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "fft", "application (or 'synth')")
-	sizeFlag := flag.String("size", "mini", "mini|ci|paper")
-	pol := flag.String("policy", "SCOMA", "page-mode policy")
-	top := flag.Int("top", 16, "hottest pages to print")
-	csv := flag.String("csv", "", "write per-page profile CSV to this file")
-	ops := flag.Int("ops", 2000, "synth: shared ops per iteration")
-	writes := flag.Int("writes", 30, "synth: store percentage")
-	random := flag.Int("random", 25, "synth: hot-set percentage")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "prismtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: the simulation is deterministic,
+// so identical arguments produce identical output on stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("prismtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "fft", "application (or 'synth')")
+	sizeFlag := fs.String("size", "mini", "mini|ci|paper")
+	pol := fs.String("policy", "SCOMA", "page-mode policy")
+	top := fs.Int("top", 16, "hottest pages to print")
+	csv := fs.String("csv", "", "write per-page profile CSV to this file")
+	ops := fs.Int("ops", 2000, "synth: shared ops per iteration")
+	writes := fs.Int("writes", 30, "synth: store percentage")
+	random := fs.Int("random", 25, "synth: hot-set percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	size, err := parseSize(*sizeFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var w prism.Workload
@@ -44,39 +58,44 @@ func main() {
 		w = workloads.NewSynth(sc)
 	} else {
 		if w, err = workloads.ByName(*app, size); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	cfg := workloads.ConfigForSize(size)
-	cfg.Policy = prism.MustPolicy(*pol)
+	p, err := prism.PolicyByName(*pol)
+	if err != nil {
+		return err
+	}
+	cfg.Policy = p
 	m, err := prism.New(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	col := trace.NewCollector(cfg.Geometry)
 	m.SetTracer(col)
 
 	res, err := m.Run(w)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("%s (%s, %s): cycles=%d remote misses=%d\n\n",
+	fmt.Fprintf(stdout, "%s (%s, %s): cycles=%d remote misses=%d\n\n",
 		w.Name(), size, *pol, res.Cycles, res.RemoteMisses)
-	fmt.Print(col.Summary(*top, m.NumProcs()))
+	fmt.Fprint(stdout, col.Summary(*top, m.NumProcs()))
 
 	if *csv != "" {
 		f, err := os.Create(*csv)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := col.WriteCSV(f); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *csv)
+		fmt.Fprintf(stderr, "wrote %s\n", *csv)
 	}
+	return nil
 }
 
 func parseSize(s string) (workloads.Size, error) {
@@ -89,9 +108,4 @@ func parseSize(s string) (workloads.Size, error) {
 		return workloads.PaperSize, nil
 	}
 	return 0, fmt.Errorf("unknown size %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prismtrace:", err)
-	os.Exit(1)
 }

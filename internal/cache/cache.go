@@ -134,6 +134,12 @@ func New(name string, cfg Config) *Cache {
 // Name returns the cache's diagnostic name.
 func (c *Cache) Name() string { return c.name }
 
+// ResetStats clears the event counters, following the machine-wide
+// reset contract: measurement counters clear, structural state
+// persists — line contents, MESI states and the LRU clock all keep
+// their values so the reset cannot perturb subsequent execution.
+func (c *Cache) ResetStats() { c.Stats.Reset() }
+
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
 

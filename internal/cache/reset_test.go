@@ -1,0 +1,32 @@
+package cache
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+)
+
+// TestResetStatsContract asserts the machine-wide reset contract for
+// the cache: measurement counters clear, structural state (lines,
+// their MESI states, the LRU clock) persists — an access that hit
+// before the reset still hits after it.
+func TestResetStatsContract(t *testing.T) {
+	c := New("l1", Config{Size: 1024, Ways: 2, LineSize: 64})
+	a := mem.PAddr(0x1000)
+	c.Access(a, true) // write miss
+	c.Insert(a, Modified)
+	if c.Stats.WriteMisses != 1 {
+		t.Fatalf("setup stats %+v", c.Stats)
+	}
+
+	c.ResetStats()
+	if c.Stats != (Stats{}) {
+		t.Fatalf("counters survived reset: %+v", c.Stats)
+	}
+	if r := c.Access(a, false); r != Hit {
+		t.Fatalf("line lost by reset: access result %v", r)
+	}
+	if c.Stats.Reads != 1 || c.Stats.ReadMisses != 0 {
+		t.Fatalf("post-reset accounting wrong: %+v", c.Stats)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"prism/internal/directory"
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/network"
 	"prism/internal/pit"
 	"prism/internal/sim"
@@ -77,6 +78,22 @@ type Stats struct {
 	FaultsSeen uint64
 	// HomeServed counts requests served by this node's home side.
 	HomeServed uint64
+
+	// Per-type message receive counts (telemetry: the coherence
+	// protocol mix delivered to this node).
+	MsgGet        uint64
+	MsgData       uint64
+	MsgGrantAck   uint64
+	MsgInv        uint64
+	MsgInvAck     uint64
+	MsgRecall     uint64
+	MsgRecallResp uint64
+	MsgWB         uint64
+	MsgFlush      uint64
+	MsgFlushAck   uint64
+	MsgLockReq    uint64
+	MsgLockGrant  uint64
+	MsgUnlock     uint64
 }
 
 // Reset zeroes the counters.
@@ -91,6 +108,7 @@ type lineKey struct {
 type clientTxn struct {
 	frame   mem.FrameID
 	excl    bool
+	start   sim.Time // issue time, for the remote-miss latency histogram
 	fill    func(at sim.Time, excl, fault bool)
 	waiters []func(at sim.Time)
 }
@@ -149,12 +167,18 @@ type Controller struct {
 	// Hardware lock protocol state (Sync-mode pages, §3.2): home-side
 	// lock queues and client-side pending acquires.
 	hwLocks  map[lineKey]*hwLock
-	lockWait map[lineKey][]func(sim.Time)
+	lockWait map[lineKey][]pendingAcquire
 
 	// SyncStats counts hardware-lock activity at this home.
 	SyncStats SyncStats
 
 	Stats Stats
+
+	// Latency histograms (nil when no registry is attached; Observe
+	// on nil is a no-op).
+	histRemoteMiss  *metrics.Histogram // ClientFetch issue → data usable
+	histLockAcquire *metrics.Histogram // client lock request → grant
+	histLockQueue   *metrics.Histogram // home-side wait in the lock queue
 }
 
 // New wires up a controller. memRes is the node's local DRAM resource
@@ -230,7 +254,7 @@ func (c *Controller) ClientFetch(at sim.Time, f mem.FrameID, ln int, write bool,
 		c.PIT.SetTag(f, ln, pit.TagTransit)
 	}
 
-	c.client[key] = &clientTxn{frame: f, excl: write, fill: fill}
+	c.client[key] = &clientTxn{frame: f, excl: write, start: at, fill: fill}
 
 	t := c.ctrlBusy(at, c.tm.CtrlOut)
 	c.send(t, ent.DynHome, c.tm.MsgHeader, &GetMsg{
@@ -285,6 +309,7 @@ func (c *Controller) handleData(src mem.NodeID, m *DataMsg) {
 		c.Stats.FaultsSeen++
 	} else if m.WithData {
 		c.Stats.RemoteMisses++
+		c.histRemoteMiss.Observe(t - txn.start)
 		if ent != nil && ent.Valid() && ent.GPage == m.Page && ent.Mode == pit.ModeLANUMA {
 			ent.RemoteTraffic++ // client-side refetch counter
 			if c.refetchThreshold > 0 && ent.RemoteTraffic == c.refetchThreshold && c.onRefetch != nil {
@@ -469,42 +494,133 @@ func (c *Controller) handleRecall(src mem.NodeID, m *RecallMsg) {
 func (c *Controller) Deliver(src mem.NodeID, msg network.Message) bool {
 	switch m := msg.(type) {
 	case *GetMsg:
+		c.Stats.MsgGet++
 		if c.holdIfMigrating(m.Page, func() { c.handleGet(src, m, false) }) {
 			return true
 		}
 		c.handleGet(src, m, false)
 	case *DataMsg:
+		c.Stats.MsgData++
 		c.handleData(src, m)
 	case *GrantAckMsg:
+		c.Stats.MsgGrantAck++
 		c.handleGrantAck(src, m)
 	case *InvMsg:
+		c.Stats.MsgInv++
 		c.handleInv(src, m)
 	case *InvAckMsg:
+		c.Stats.MsgInvAck++
 		c.handleInvAck(src, m)
 	case *RecallMsg:
+		c.Stats.MsgRecall++
 		c.handleRecall(src, m)
 	case *RecallRespMsg:
+		c.Stats.MsgRecallResp++
 		c.handleRecallResp(src, m)
 	case *WBMsg:
+		c.Stats.MsgWB++
 		if c.holdIfMigrating(m.Page, func() { c.handleWB(src, m) }) {
 			return true
 		}
 		c.handleWB(src, m)
 	case *FlushMsg:
+		c.Stats.MsgFlush++
 		if c.holdIfMigrating(m.Page, func() { c.handleFlush(src, m) }) {
 			return true
 		}
 		c.handleFlush(src, m)
 	case *FlushAckMsg:
+		c.Stats.MsgFlushAck++
 		c.handleFlushAck(m)
 	case *LockReqMsg:
+		c.Stats.MsgLockReq++
 		c.handleLockReq(src, m)
 	case *LockGrantMsg:
+		c.Stats.MsgLockGrant++
 		c.handleLockGrant(src, m)
 	case *UnlockMsg:
+		c.Stats.MsgUnlock++
 		c.handleUnlock(src, m)
 	default:
 		return false
 	}
 	return true
+}
+
+// RegisterMetrics registers the controller's protocol counters,
+// occupancy, per-type message counts, hardware-lock statistics and
+// latency histograms (including the PIT's and directory's counters,
+// which live inside the controller).
+func (c *Controller) RegisterMetrics(r *metrics.Registry) {
+	nd := int(c.node)
+	s := &c.Stats
+	for _, ct := range []struct {
+		name string
+		v    *uint64
+	}{
+		{"remote_misses", &s.RemoteMisses},
+		{"upgrades", &s.Upgrades},
+		{"writebacks_sent", &s.WritebacksSent},
+		{"invs_received", &s.InvsReceived},
+		{"recalls_received", &s.RecallsReceived},
+		{"invs_sent", &s.InvsSent},
+		{"forwards", &s.Forwards},
+		{"firewall_faults", &s.FirewallFaults},
+		{"faults_seen", &s.FaultsSeen},
+		{"home_served", &s.HomeServed},
+		{"msg_get", &s.MsgGet},
+		{"msg_data", &s.MsgData},
+		{"msg_grant_ack", &s.MsgGrantAck},
+		{"msg_inv", &s.MsgInv},
+		{"msg_inv_ack", &s.MsgInvAck},
+		{"msg_recall", &s.MsgRecall},
+		{"msg_recall_resp", &s.MsgRecallResp},
+		{"msg_wb", &s.MsgWB},
+		{"msg_flush", &s.MsgFlush},
+		{"msg_flush_ack", &s.MsgFlushAck},
+		{"msg_lock_req", &s.MsgLockReq},
+		{"msg_lock_grant", &s.MsgLockGrant},
+		{"msg_unlock", &s.MsgUnlock},
+	} {
+		v := ct.v
+		r.CounterFunc(nd, "coherence", ct.name, func() uint64 { return *v })
+	}
+	r.CounterFunc(nd, "coherence", "ctrl_grants", func() uint64 { return c.ctrl.Grants })
+	r.CounterFunc(nd, "coherence", "ctrl_busy_cycles", func() uint64 { return uint64(c.ctrl.BusyTotal) })
+	r.CounterFunc(nd, "coherence", "ctrl_wait_cycles", func() uint64 { return uint64(c.ctrl.WaitTotal) })
+	c.histRemoteMiss = r.Histogram(nd, "coherence", "remote_miss_cycles", metrics.DefaultLatencyBounds)
+
+	sy := &c.SyncStats
+	r.CounterFunc(nd, "sync", "hw_acquires", func() uint64 { return sy.Acquires })
+	r.CounterFunc(nd, "sync", "hw_handoffs", func() uint64 { return sy.Handoffs })
+	r.GaugeFunc(nd, "sync", "hw_max_queue", func() float64 { return float64(sy.MaxQueue) })
+	c.histLockAcquire = r.Histogram(nd, "sync", "lock_acquire_cycles", metrics.DefaultLatencyBounds)
+	c.histLockQueue = r.Histogram(nd, "sync", "lock_queue_wait_cycles", metrics.DefaultLatencyBounds)
+
+	ps := &c.PIT.Stats
+	r.CounterFunc(nd, "pit", "lookups", func() uint64 { return ps.Lookups })
+	r.CounterFunc(nd, "pit", "reverse_guess", func() uint64 { return ps.ReverseGuess })
+	r.CounterFunc(nd, "pit", "reverse_hash", func() uint64 { return ps.ReverseHash })
+	r.CounterFunc(nd, "pit", "firewall_drops", func() uint64 { return ps.FirewallDrops })
+
+	ds := &c.Dir.Stats
+	r.CounterFunc(nd, "directory", "accesses", func() uint64 { return ds.Accesses })
+	r.CounterFunc(nd, "directory", "cache_hits", func() uint64 { return ds.CacheHits })
+	r.CounterFunc(nd, "directory", "cache_misses", func() uint64 { return ds.CacheMisses })
+}
+
+// ResetStats clears the controller's measurement state, following the
+// machine-wide reset contract: protocol counters, hardware-lock
+// statistics, PIT/directory counters, occupancy statistics and
+// latency histograms clear; protocol state (transactions, lock
+// queues, PIT/directory contents) and occupancy horizons persist.
+func (c *Controller) ResetStats() {
+	c.Stats.Reset()
+	c.SyncStats = SyncStats{}
+	c.PIT.ResetStats()
+	c.Dir.ResetStats()
+	c.ctrl.Reset()
+	c.histRemoteMiss.Reset()
+	c.histLockAcquire.Reset()
+	c.histLockQueue.Reset()
 }

@@ -1,0 +1,56 @@
+package coherence
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/metrics"
+	"prism/internal/pit"
+)
+
+// TestControllerResetStatsContract asserts the machine-wide reset
+// contract for the controller: protocol counters, hardware-lock
+// statistics, per-type message counts, PIT/directory counters and
+// latency histograms all clear, while PIT entries, directory pages
+// and occupancy horizons persist.
+func TestControllerResetStatsContract(t *testing.T) {
+	c, _ := mkCtrl(t)
+	r := metrics.NewRegistry()
+	c.RegisterMetrics(r)
+
+	g := mem.GPage{Seg: 1, Page: 0}
+	c.PIT.Insert(0, pit.Entry{Mode: pit.ModeSCOMA, GPage: g, StaticHome: 0, DynHome: 0})
+	c.PIT.Lookup(0)
+	c.Stats.RemoteMisses = 5
+	c.Stats.MsgGet = 3
+	c.SyncStats = SyncStats{Acquires: 2, Handoffs: 1, MaxQueue: 4}
+	c.histRemoteMiss.Observe(100)
+
+	c.ResetStats()
+	if c.Stats != (Stats{}) {
+		t.Fatalf("protocol counters survived reset: %+v", c.Stats)
+	}
+	if c.SyncStats != (SyncStats{}) {
+		t.Fatalf("sync counters survived reset: %+v", c.SyncStats)
+	}
+	if c.PIT.Stats != (pit.Stats{}) {
+		t.Fatalf("PIT counters survived reset: %+v", c.PIT.Stats)
+	}
+	if c.histRemoteMiss.Count() != 0 {
+		t.Fatal("histogram survived reset")
+	}
+	if c.PIT.Entry(0) == nil {
+		t.Fatal("PIT entry lost by reset")
+	}
+}
+
+// TestControllerResetStatsUnregistered asserts ResetStats is safe on
+// a controller that never registered metrics (nil histograms).
+func TestControllerResetStatsUnregistered(t *testing.T) {
+	c, _ := mkCtrl(t)
+	c.Stats.RemoteMisses = 1
+	c.ResetStats() // must not panic on nil histograms
+	if c.Stats != (Stats{}) {
+		t.Fatalf("counters survived reset: %+v", c.Stats)
+	}
+}

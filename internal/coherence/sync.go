@@ -40,11 +40,25 @@ type UnlockMsg struct {
 	From mem.NodeID
 }
 
+// lockWaiter is one node queued at the home for a held lock, with its
+// enqueue time for the queue-wait latency histogram.
+type lockWaiter struct {
+	node  mem.NodeID
+	since sim.Time
+}
+
 // hwLock is the home-side state of one sync line.
 type hwLock struct {
 	held   bool
 	holder mem.NodeID
-	queue  []mem.NodeID
+	queue  []lockWaiter
+}
+
+// pendingAcquire is a client-side acquire awaiting its grant, with
+// its request time for the acquire-to-grant latency histogram.
+type pendingAcquire struct {
+	done  func(sim.Time)
+	start sim.Time
 }
 
 // SyncStats counts hardware lock protocol activity.
@@ -64,9 +78,9 @@ func (c *Controller) LockAcquire(at sim.Time, f mem.FrameID, ln int, ent *pit.En
 	}
 	key := lineKey{ent.GPage, ln}
 	if c.lockWait == nil {
-		c.lockWait = make(map[lineKey][]func(sim.Time))
+		c.lockWait = make(map[lineKey][]pendingAcquire)
 	}
-	c.lockWait[key] = append(c.lockWait[key], done)
+	c.lockWait[key] = append(c.lockWait[key], pendingAcquire{done: done, start: at})
 	t := c.ctrlBusy(at, c.tm.CtrlOut)
 	c.send(t, ent.DynHome, c.tm.MsgHeader, &LockReqMsg{
 		Page: ent.GPage, Line: ln, From: c.node,
@@ -108,7 +122,7 @@ func (c *Controller) handleLockReq(src mem.NodeID, m *LockReqMsg) {
 		c.send(t+2, m.From, c.tm.MsgHeader, &LockGrantMsg{Page: m.Page, Line: m.Line})
 		return
 	}
-	l.queue = append(l.queue, m.From)
+	l.queue = append(l.queue, lockWaiter{node: m.From, since: t})
 	if len(l.queue) > c.SyncStats.MaxQueue {
 		c.SyncStats.MaxQueue = len(l.queue)
 	}
@@ -125,10 +139,11 @@ func (c *Controller) handleUnlock(src mem.NodeID, m *UnlockMsg) {
 	if len(l.queue) > 0 {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
-		l.holder = next
+		l.holder = next.node
 		c.SyncStats.Acquires++
 		c.SyncStats.Handoffs++
-		c.send(t+2, next, c.tm.MsgHeader, &LockGrantMsg{Page: m.Page, Line: m.Line})
+		c.histLockQueue.Observe(t - next.since)
+		c.send(t+2, next.node, c.tm.MsgHeader, &LockGrantMsg{Page: m.Page, Line: m.Line})
 		return
 	}
 	l.held = false
@@ -142,11 +157,13 @@ func (c *Controller) handleLockGrant(src mem.NodeID, m *LockGrantMsg) {
 	if len(q) == 0 {
 		panic(fmt.Sprintf("coherence: node %d: unexpected lock grant for %v:%d", c.node, m.Page, m.Line))
 	}
-	done := q[0]
+	w := q[0]
 	if len(q) == 1 {
 		delete(c.lockWait, key)
 	} else {
 		c.lockWait[key] = q[1:]
 	}
+	c.histLockAcquire.Observe(t - w.start)
+	done := w.done
 	c.e.At(t, func() { done(t) })
 }

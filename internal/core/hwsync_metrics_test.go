@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/metrics"
+	"prism/internal/sim"
+)
+
+// fifoWL has processor 0 take the lock and hold it long enough for
+// every other processor to queue behind it in staggered order; each
+// grant appends the winner to a host-side log. Hardware queue locks
+// must grant in request-arrival order at the home (FIFO).
+type fifoWL struct {
+	order []int
+	hold  int
+}
+
+func (w *fifoWL) Name() string { return "fifo" }
+
+func (w *fifoWL) Setup(m *Machine) error {
+	w.hold = 400000
+	return nil
+}
+
+func (w *fifoWL) Run(ctx *Ctx) {
+	p := ctx.P
+	ctx.BeginParallel()
+	if ctx.ID == 0 {
+		p.Lock(5)
+		// Hold long enough that every other processor's staggered
+		// request reaches the home and queues while we still hold.
+		p.Compute(sim.Time(w.hold))
+		w.order = append(w.order, 0)
+		p.Unlock(5)
+	} else {
+		// Stagger requests far apart relative to barrier-exit skew
+		// (the staggered wakeups and serialized re-reads of the
+		// barrier line), so arrival order at the home is the
+		// processor order.
+		p.Compute(sim.Time(ctx.ID * 20000))
+		p.Lock(5)
+		w.order = append(w.order, ctx.ID)
+		p.Unlock(5)
+	}
+	ctx.EndParallel()
+}
+
+func TestHardwareLockFIFOOrder(t *testing.T) {
+	m, err := NewMachine(hwLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &fifoWL{}
+	if _, err := m.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.order) != len(m.Procs) {
+		t.Fatalf("%d grants for %d processors", len(w.order), len(m.Procs))
+	}
+	for i, id := range w.order {
+		if id != i {
+			t.Fatalf("grant order %v violates FIFO (position %d went to proc %d)", w.order, i, id)
+		}
+	}
+}
+
+// syncHistograms aggregates the per-node sync latency histograms from
+// the registry.
+func syncHistograms(m *Machine) map[string]metrics.HistData {
+	out := map[string]metrics.HistData{}
+	for _, p := range m.Metrics.Snapshot() {
+		if p.Component != "sync" || p.Hist == nil {
+			continue
+		}
+		agg := out[p.Name]
+		agg.Count += p.Hist.Count
+		agg.Sum += p.Hist.Sum
+		if p.Hist.Max > agg.Max {
+			agg.Max = p.Hist.Max
+		}
+		out[p.Name] = agg
+	}
+	return out
+}
+
+// TestHardwareLockLatencyBounded runs the contended lock workload and
+// checks the new sync histograms: every acquire is observed, and no
+// queued waiter waits longer than the worst case of draining the
+// whole queue ahead of it.
+func TestHardwareLockLatencyBounded(t *testing.T) {
+	m, err := NewMachine(hwLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &lockWL{}
+	if _, err := m.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	h := syncHistograms(m)
+
+	acq, ok := h["lock_acquire_cycles"]
+	if !ok {
+		t.Fatal("no lock_acquire_cycles histogram in registry")
+	}
+	wantAcquires := uint64(w.rounds * len(m.Procs))
+	if acq.Count != wantAcquires {
+		t.Errorf("acquire histogram saw %d grants, want %d", acq.Count, wantAcquires)
+	}
+
+	qw, ok := h["lock_queue_wait_cycles"]
+	if !ok {
+		t.Fatal("no lock_queue_wait_cycles histogram in registry")
+	}
+	if qw.Count == 0 {
+		t.Fatal("contended workload produced no queued waiters")
+	}
+	// Worst case: every other processor drains ahead of a waiter, each
+	// holding for a critical section (a remote write plus sync ops)
+	// and a grant handoff round trip. 8000 cycles per predecessor is
+	// generous at this machine's timing.
+	bound := uint64(len(m.Procs)) * 8000
+	if qw.Max > bound {
+		t.Errorf("max queue wait %d cycles exceeds bound %d", qw.Max, bound)
+	}
+	if acq.Max > 0 && acq.Max < qw.Max {
+		t.Errorf("acquire latency max %d < queue wait max %d: acquire must dominate", acq.Max, qw.Max)
+	}
+}

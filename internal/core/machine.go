@@ -9,10 +9,10 @@ import (
 	"fmt"
 	"strings"
 
-	"prism/internal/directory"
 	"prism/internal/ipc"
 	"prism/internal/kernel"
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/network"
 	"prism/internal/node"
 	"prism/internal/pit"
@@ -110,9 +110,15 @@ type Machine struct {
 	Procs []*node.Proc
 	Sync  *node.SyncDomain
 
+	// Metrics is the machine's telemetry registry: every component
+	// registers its counters, gauges and latency histograms here at
+	// build time. Reading it never perturbs the simulation.
+	Metrics *metrics.Registry
+
 	nextGlobal mem.VSID
 	tm         timing.T
 
+	sampler    *metrics.Sampler
 	measuring  bool
 	phaseStart sim.Time
 	phaseEnd   sim.Time
@@ -125,6 +131,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{Cfg: cfg, tm: cfg.Timing, nextGlobal: globalBase}
 	m.E = sim.NewEngine()
+	m.Metrics = metrics.NewRegistry()
 	m.Net = network.New(m.E, cfg.Nodes, cfg.Net)
 	m.Reg = ipc.NewRegistry(cfg.Geometry, cfg.Nodes)
 
@@ -136,9 +143,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 		k := kernel.New(m.E, mem.NodeID(i), cfg.Geometry, &m.tm, kc, m.Reg, m.Net, cfg.Policy)
 		n := node.New(m.E, mem.NodeID(i), cfg.Geometry, &m.tm, cfg.Node, m.Net, m.Reg, k)
 		m.Net.Attach(mem.NodeID(i), n)
+		n.RegisterMetrics(m.Metrics)
 		m.Nodes = append(m.Nodes, n)
 		m.Procs = append(m.Procs, n.Procs...)
 	}
+	m.Net.RegisterMetrics(m.Metrics)
 
 	// Private segments: one per processor, attached on its node only.
 	for i, p := range m.Procs {
@@ -156,6 +165,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 	}
 	m.Sync = node.NewSyncDomain(m.E, &m.tm, cfg.Geometry, len(m.Procs), mem.NewVAddr(syncVSID, 0))
+	m.Sync.RegisterMetrics(m.Metrics)
 	for _, p := range m.Procs {
 		p.Sync = m.Sync
 	}
@@ -264,32 +274,48 @@ type Workload interface {
 	Run(ctx *Ctx)
 }
 
-// resetStats clears every measurement counter (but not structural
-// accounting like allocated-frame counts, which the paper reports for
-// whole runs).
+// resetStats clears every measurement counter across the machine by
+// delegating to each component's ResetStats. The contract is uniform:
+// measurement counters clear, structural state (frame accounting,
+// cache lines, PIT/directory entries, lock and barrier state, resource
+// horizons) persists, so a reset mid-run never perturbs the simulation.
 func (m *Machine) resetStats() {
-	for _, p := range m.Procs {
-		p.Stats.Reset()
-		p.L1().Stats.Reset()
-		p.L2().Stats.Reset()
-	}
 	for _, n := range m.Nodes {
-		n.Ctrl.Stats.Reset()
-		n.Ctrl.PIT.Stats = pit.Stats{}
-		n.Ctrl.Dir.Stats = directory.Stats{}
-		ks := &n.Kern.Stats
-		ks.Faults = 0
-		ks.PrivateFaults = 0
-		ks.HomeFaults = 0
-		ks.ClientFaults = 0
-		ks.FlagHits = 0
-		ks.PageInMsgs = 0
-		ks.ClientPageOuts = 0
-		ks.Conversions = 0
-		ks.ReverseConversions = 0
-		ks.HomePageOuts = 0
+		n.ResetStats()
 	}
 	m.Net.ResetStats()
+	m.Sync.ResetStats()
+}
+
+// SampleMetrics attaches an interval sampler that snapshots every
+// scalar instrument each `every` cycles of simulated time while any
+// processor is still running. Call before Run; the samples appear in
+// ExportMetrics output.
+func (m *Machine) SampleMetrics(every sim.Time) {
+	m.sampler = metrics.AttachSampler(m.E, m.Metrics, every, func() bool {
+		for _, p := range m.Procs {
+			if !p.Coro().Done() {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// ExportMetrics captures the registry's final state (and any interval
+// samples) as a serializable export. Call after Run.
+func (m *Machine) ExportMetrics(workload, policyName string) *metrics.Export {
+	e := &metrics.Export{
+		Schema:   metrics.Schema,
+		Workload: workload,
+		Policy:   policyName,
+		Cycles:   uint64(m.phaseEnd - m.phaseStart),
+		Points:   m.Metrics.Snapshot(),
+	}
+	if m.sampler != nil {
+		e.Samples = m.sampler.Samples
+	}
+	return e
 }
 
 // Run executes the workload to completion and returns the results.

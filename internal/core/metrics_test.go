@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"prism/internal/metrics"
+)
+
+// TestMachineResetStatsContract runs a real workload (which resets
+// stats inside BeginParallel) and then resets again after the run,
+// asserting the machine-wide contract end to end: every counter and
+// histogram in the registry clears, while whole-run frame accounting
+// (the Table 3 quantities) persists.
+func TestMachineResetStatsContract(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(&shareWL{bytes: 16 << 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The run left real measurement traffic behind.
+	pre := map[string]uint64{}
+	for _, p := range m.Metrics.Snapshot() {
+		if p.Kind == metrics.KindCounter {
+			pre[p.Component+"/"+p.Name] += p.Value
+		}
+	}
+	if pre["network/messages"] == 0 || pre["kernel/faults"] == 0 {
+		t.Fatalf("run produced no traffic: %v", pre)
+	}
+
+	m.resetStats()
+	for _, p := range m.Metrics.Snapshot() {
+		name := p.Component + "/" + p.Name
+		switch {
+		case p.Kind == metrics.KindGauge:
+			// Gauges report live structural state; not reset.
+		case name == "kernel/real_allocated" || name == "kernel/imag_allocated":
+			// Whole-run frame accounting persists (Table 3).
+			if p.Value == 0 && pre[name] != 0 {
+				t.Errorf("%s: whole-run accounting lost by reset", name)
+			}
+		case p.Kind == metrics.KindCounter && p.Value != 0:
+			t.Errorf("%s = %d after reset, want 0", p.ID(), p.Value)
+		case p.Hist != nil && p.Hist.Count != 0:
+			t.Errorf("%s: histogram has %d observations after reset", p.ID(), p.Hist.Count)
+		}
+	}
+}
+
+// TestExportMetricsShape checks the machine-level export carries the
+// run header and a populated point set.
+func TestExportMetricsShape(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SampleMetrics(5000)
+	if _, err := m.Run(&shareWL{bytes: 16 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	e := m.ExportMetrics("share", "SCOMA")
+	if e.Schema != metrics.Schema || e.Workload != "share" || e.Policy != "SCOMA" {
+		t.Fatalf("export header %+v", e)
+	}
+	if e.Cycles == 0 || len(e.Points) == 0 {
+		t.Fatalf("empty export: cycles=%d points=%d", e.Cycles, len(e.Points))
+	}
+	if len(e.Samples) == 0 {
+		t.Fatal("sampler recorded no interval snapshots")
+	}
+	last := e.Samples[len(e.Samples)-1]
+	if last.At == 0 || len(last.Points) == 0 {
+		t.Fatalf("empty sample %+v", last)
+	}
+}

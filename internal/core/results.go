@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
+	"prism/internal/metrics"
 	"prism/internal/sim"
 )
 
@@ -102,17 +102,16 @@ func (m *Machine) collect(w Workload) Results {
 
 // String renders the stat block printed by cmd/prismsim.
 func (r Results) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "workload=%s policy=%s\n", r.Workload, r.Policy)
-	fmt.Fprintf(&b, "  cycles            %12d\n", r.Cycles)
-	fmt.Fprintf(&b, "  refs              %12d (L1 miss %d, L2 miss %d)\n", r.Refs, r.L1Misses, r.L2Misses)
-	fmt.Fprintf(&b, "  remote misses     %12d\n", r.RemoteMisses)
-	fmt.Fprintf(&b, "  upgrades          %12d\n", r.Upgrades)
-	fmt.Fprintf(&b, "  client page-outs  %12d\n", r.ClientPageOuts)
-	fmt.Fprintf(&b, "  frames real/imag  %12d / %d\n", r.RealFrames, r.ImagFrames)
-	fmt.Fprintf(&b, "  utilization       %12.3f\n", r.Utilization)
-	fmt.Fprintf(&b, "  page faults       %12d (page-in msgs %d, flag hits %d)\n", r.PageFaults, r.PageInMsgs, r.FlagHits)
-	fmt.Fprintf(&b, "  conversions       %12d\n", r.Conversions)
-	fmt.Fprintf(&b, "  net msgs/bytes    %12d / %d\n", r.NetMessages, r.NetBytes)
-	return b.String()
+	tb := metrics.NewTable("metric", "value", "detail")
+	tb.Row("cycles", fmt.Sprintf("%d", r.Cycles), "")
+	tb.Row("refs", fmt.Sprintf("%d", r.Refs), fmt.Sprintf("L1 miss %d, L2 miss %d", r.L1Misses, r.L2Misses))
+	tb.Row("remote misses", fmt.Sprintf("%d", r.RemoteMisses), "")
+	tb.Row("upgrades", fmt.Sprintf("%d", r.Upgrades), "")
+	tb.Row("client page-outs", fmt.Sprintf("%d", r.ClientPageOuts), "")
+	tb.Row("frames real/imag", fmt.Sprintf("%d / %d", r.RealFrames, r.ImagFrames), "")
+	tb.Row("utilization", fmt.Sprintf("%.3f", r.Utilization), "")
+	tb.Row("page faults", fmt.Sprintf("%d", r.PageFaults), fmt.Sprintf("page-in msgs %d, flag hits %d", r.PageInMsgs, r.FlagHits))
+	tb.Row("conversions", fmt.Sprintf("%d", r.Conversions), "")
+	tb.Row("net msgs/bytes", fmt.Sprintf("%d / %d", r.NetMessages, r.NetBytes), "")
+	return fmt.Sprintf("workload=%s policy=%s\n%s", r.Workload, r.Policy, tb.String())
 }

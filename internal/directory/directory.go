@@ -155,6 +155,11 @@ func (d *Directory) HasPage(g mem.GPage) bool {
 // Pages returns the number of pages with directory state here.
 func (d *Directory) Pages() int { return len(d.pages) }
 
+// ResetStats clears the access counters, following the machine-wide
+// reset contract: measurement counters clear, structural state
+// persists — directory entries and the tag cache are untouched.
+func (d *Directory) ResetStats() { d.Stats = Stats{} }
+
 // Access returns the directory entry for line ln of page g along with
 // the modeled access cost (directory cache hit or miss). The entry is
 // mutable in place. ok is false if the page has no directory here

@@ -1,0 +1,36 @@
+package directory
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+)
+
+// TestResetStatsContract asserts the machine-wide reset contract for
+// the directory: measurement counters clear, structural state (page
+// entries, sharer sets, the tag cache) persists.
+func TestResetStatsContract(t *testing.T) {
+	d := New(0, mem.DefaultGeometry, DefaultConfig)
+	g := mem.GPage{Seg: 1, Page: 2}
+	d.AddPage(g, 0)
+	if _, _, ok := d.Access(g, 0); !ok {
+		t.Fatal("access failed")
+	}
+	if d.Stats.Accesses == 0 {
+		t.Fatalf("setup stats %+v", d.Stats)
+	}
+
+	d.ResetStats()
+	if d.Stats != (Stats{}) {
+		t.Fatalf("counters survived reset: %+v", d.Stats)
+	}
+	if !d.HasPage(g) {
+		t.Fatal("page lost by reset")
+	}
+	if _, _, ok := d.Access(g, 0); !ok {
+		t.Fatal("post-reset access failed")
+	}
+	if d.Stats.Accesses != 1 {
+		t.Fatalf("post-reset accounting wrong: %+v", d.Stats)
+	}
+}

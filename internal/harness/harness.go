@@ -7,6 +7,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -15,6 +17,7 @@ import (
 	"prism"
 	"prism/internal/core"
 	"prism/internal/latency"
+	"prism/internal/metrics"
 	"prism/internal/sim"
 	"prism/workloads"
 )
@@ -41,6 +44,13 @@ type Options struct {
 	// GOMAXPROCS, 1 forces the sequential path. Every run owns a
 	// private Machine, so results are bit-identical at any width.
 	Workers int
+	// MetricsDir, when non-empty, makes every sweep cell write its
+	// full telemetry export to <MetricsDir>/<app>_<policy>.json
+	// (metrics.Export, analyzed with prismstat). Export is pure
+	// observation: the sweep's results and CSV are byte-identical
+	// with or without it. The PIT sweep ignores MetricsDir (it runs
+	// the same app × policy cell twice, which would collide).
+	MetricsDir string
 
 	logMu *sync.Mutex
 }
@@ -121,6 +131,12 @@ func (o *Options) runOne(app, polName string, caps []int) (prism.Results, error)
 	if err != nil {
 		return prism.Results{}, fmt.Errorf("%s/%s: %w", app, polName, err)
 	}
+	if o.MetricsDir != "" {
+		path := filepath.Join(o.MetricsDir, fmt.Sprintf("%s_%s.json", app, polName))
+		if err := m.ExportMetrics(app, polName).WriteJSONFile(path); err != nil {
+			return prism.Results{}, fmt.Errorf("%s/%s: metrics export: %w", app, polName, err)
+		}
+	}
 	o.logf("  %-10s %-9s cycles=%-12d remote=%-9d pageouts=%-6d frames=%d+%d",
 		app, polName, res.Cycles, res.RemoteMisses, res.ClientPageOuts, res.RealFrames, res.ImagFrames)
 	return res, nil
@@ -154,6 +170,11 @@ func capsFor(scoma prism.Results, frac float64) []int {
 // byte-identical to the sequential path's.
 func Run(opts Options) ([]AppRun, error) {
 	opts.defaults()
+	if opts.MetricsDir != "" {
+		if err := os.MkdirAll(opts.MetricsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: metrics dir: %w", err)
+		}
+	}
 	if opts.workers() > 1 {
 		return runParallel(&opts)
 	}
@@ -195,73 +216,61 @@ func runSequential(opts *Options) ([]AppRun, error) {
 
 // FormatFig7 renders execution time normalized to SCOMA (Figure 7).
 func FormatFig7(runs []AppRun) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 7: execution time normalized to SCOMA\n")
-	fmt.Fprintf(&b, "%-11s", "app")
-	for _, p := range PolicyOrder {
-		fmt.Fprintf(&b, " %9s", p)
-	}
-	b.WriteByte('\n')
+	tb := metrics.NewTable(append([]string{"app"}, PolicyOrder...)...)
 	for _, ar := range runs {
 		base := ar.ByPol["SCOMA"].Cycles
-		fmt.Fprintf(&b, "%-11s", ar.App)
+		row := []string{ar.App}
 		for _, p := range PolicyOrder {
 			r, ok := ar.ByPol[p]
 			if !ok || base == 0 {
-				fmt.Fprintf(&b, " %9s", "-")
+				row = append(row, "-")
 				continue
 			}
-			fmt.Fprintf(&b, " %9.2f", float64(r.Cycles)/float64(base))
+			row = append(row, fmt.Sprintf("%.2f", float64(r.Cycles)/float64(base)))
 		}
-		b.WriteByte('\n')
+		tb.Row(row...)
 	}
-	return b.String()
+	return "Figure 7: execution time normalized to SCOMA\n" + tb.String()
 }
 
 // FormatTable3 renders page consumption and utilization (Table 3).
 func FormatTable3(runs []AppRun) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 3: page frames allocated and average utilization\n")
-	fmt.Fprintf(&b, "%-11s %12s %12s %10s %10s\n", "app", "SCOMA frames", "LANUMA frames", "SCOMA util", "LANUMA util")
+	tb := metrics.NewTable("app", "SCOMA frames", "LANUMA frames", "SCOMA util", "LANUMA util")
 	for _, ar := range runs {
 		s, l := ar.ByPol["SCOMA"], ar.ByPol["LANUMA"]
-		fmt.Fprintf(&b, "%-11s %12d %12d %10.3f %10.3f\n",
-			ar.App, s.RealFrames, l.RealFrames, s.Utilization, l.Utilization)
+		tb.Row(ar.App,
+			fmt.Sprintf("%d", s.RealFrames), fmt.Sprintf("%d", l.RealFrames),
+			fmt.Sprintf("%.3f", s.Utilization), fmt.Sprintf("%.3f", l.Utilization))
 	}
-	return b.String()
+	return "Table 3: page frames allocated and average utilization\n" + tb.String()
 }
 
 // FormatTable4 renders remote misses for the static configurations and
 // SCOMA-70's page-outs (Table 4).
 func FormatTable4(runs []AppRun) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 4: remote misses (static configs) and SCOMA-70 page-outs\n")
-	fmt.Fprintf(&b, "%-11s %10s %10s %10s %10s\n", "app", "SCOMA", "LANUMA", "SCOMA-70", "page-outs")
+	tb := metrics.NewTable("app", "SCOMA", "LANUMA", "SCOMA-70", "page-outs")
 	for _, ar := range runs {
-		fmt.Fprintf(&b, "%-11s %10d %10d %10d %10d\n", ar.App,
-			ar.ByPol["SCOMA"].RemoteMisses,
-			ar.ByPol["LANUMA"].RemoteMisses,
-			ar.ByPol["SCOMA-70"].RemoteMisses,
-			ar.ByPol["SCOMA-70"].ClientPageOuts)
+		tb.Row(ar.App,
+			fmt.Sprintf("%d", ar.ByPol["SCOMA"].RemoteMisses),
+			fmt.Sprintf("%d", ar.ByPol["LANUMA"].RemoteMisses),
+			fmt.Sprintf("%d", ar.ByPol["SCOMA-70"].RemoteMisses),
+			fmt.Sprintf("%d", ar.ByPol["SCOMA-70"].ClientPageOuts))
 	}
-	return b.String()
+	return "Table 4: remote misses (static configs) and SCOMA-70 page-outs\n" + tb.String()
 }
 
 // FormatTable5 renders the adaptive configurations (Table 5).
 func FormatTable5(runs []AppRun) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 5: remote misses and page-outs (adaptive configs)\n")
-	fmt.Fprintf(&b, "%-11s %10s %10s %10s %9s %9s\n", "app",
-		"Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO(Util)", "PO(LRU)")
+	tb := metrics.NewTable("app", "Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO(Util)", "PO(LRU)")
 	for _, ar := range runs {
-		fmt.Fprintf(&b, "%-11s %10d %10d %10d %9d %9d\n", ar.App,
-			ar.ByPol["Dyn-FCFS"].RemoteMisses,
-			ar.ByPol["Dyn-Util"].RemoteMisses,
-			ar.ByPol["Dyn-LRU"].RemoteMisses,
-			ar.ByPol["Dyn-Util"].ClientPageOuts,
-			ar.ByPol["Dyn-LRU"].ClientPageOuts)
+		tb.Row(ar.App,
+			fmt.Sprintf("%d", ar.ByPol["Dyn-FCFS"].RemoteMisses),
+			fmt.Sprintf("%d", ar.ByPol["Dyn-Util"].RemoteMisses),
+			fmt.Sprintf("%d", ar.ByPol["Dyn-LRU"].RemoteMisses),
+			fmt.Sprintf("%d", ar.ByPol["Dyn-Util"].ClientPageOuts),
+			fmt.Sprintf("%d", ar.ByPol["Dyn-LRU"].ClientPageOuts))
 	}
-	return b.String()
+	return "Table 5: remote misses and page-outs (adaptive configs)\n" + tb.String()
 }
 
 // FormatTable2 renders the workload inventory (Table 2) for the paper
@@ -313,6 +322,9 @@ type PITRow struct {
 // translation signal at small scales).
 func RunPITSweep(opts Options) ([]PITRow, error) {
 	opts.defaults()
+	// Both PIT cells are the same app × policy, so per-cell export
+	// files would collide; the PIT study never uses the exports.
+	opts.MetricsDir = ""
 	if opts.workers() > 1 {
 		return runPITParallel(&opts)
 	}
@@ -343,15 +355,14 @@ func RunPITSweep(opts Options) ([]PITRow, error) {
 
 // FormatPITSweep renders the PIT study.
 func FormatPITSweep(rows []PITRow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "PIT access time study (§4.3): DRAM (10cy) vs SRAM (2cy) PIT, LANUMA\n")
-	fmt.Fprintf(&b, "%-11s %14s %14s %9s\n", "app", "SRAM cycles", "DRAM cycles", "increase")
+	tb := metrics.NewTable("app", "SRAM cycles", "DRAM cycles", "increase")
 	sorted := append([]PITRow(nil), rows...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].App < sorted[j].App })
 	for _, r := range sorted {
-		fmt.Fprintf(&b, "%-11s %14d %14d %8.1f%%\n", r.App, r.Fast, r.Slow, r.Increase*100)
+		tb.Row(r.App, fmt.Sprintf("%d", r.Fast), fmt.Sprintf("%d", r.Slow),
+			fmt.Sprintf("%.1f%%", r.Increase*100))
 	}
-	return b.String()
+	return "PIT access time study (§4.3): DRAM (10cy) vs SRAM (2cy) PIT, LANUMA\n" + tb.String()
 }
 
 func max(a, b int) int {

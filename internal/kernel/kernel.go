@@ -16,6 +16,7 @@ import (
 	"prism/internal/coherence"
 	"prism/internal/ipc"
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/network"
 	"prism/internal/pit"
 	"prism/internal/policy"
@@ -74,6 +75,17 @@ type Stats struct {
 	// Migrations counts lazy page migrations this node coordinated.
 	Migrations uint64
 
+	// Per-type message receive counts (telemetry: the paging
+	// protocol mix delivered to this node).
+	MsgPageInReq     uint64
+	MsgPageInResp    uint64
+	MsgUnmapReq      uint64
+	MsgUnmapAck      uint64
+	MsgMigratePrep   uint64
+	MsgMigrateData   uint64
+	MsgMigrateCommit uint64
+	MsgMigrateDone   uint64
+
 	// Frame accounting (Table 3).
 	RealAllocated uint64 // real frames allocated (private + home + client S-COMA)
 	ImagAllocated uint64 // imaginary (LA-NUMA) frames allocated
@@ -85,6 +97,19 @@ type Stats struct {
 
 // Reset zeroes the counters.
 func (s *Stats) Reset() { *s = Stats{} }
+
+// ResetMeasurement clears the measurement counters while keeping the
+// whole-run frame accounting (RealAllocated, ImagAllocated, UtilSum,
+// UtilFrames), following the machine-wide reset contract: Table 3 is
+// reported for whole runs, Tables 4/5 for the measured phase.
+func (s *Stats) ResetMeasurement() {
+	*s = Stats{
+		RealAllocated: s.RealAllocated,
+		ImagAllocated: s.ImagAllocated,
+		UtilSum:       s.UtilSum,
+		UtilFrames:    s.UtilFrames,
+	}
+}
 
 type attachInfo struct {
 	gsid    mem.GSID
@@ -164,6 +189,11 @@ type Kernel struct {
 	dynPages     map[mem.GPage]mem.FrameID
 
 	Stats Stats
+
+	// Latency histograms (nil when no registry is attached; Observe
+	// on nil is a no-op).
+	histFault     *metrics.Histogram // fault taken → mapping installed
+	histMigration *metrics.Histogram // MigratePage → registry commit
 }
 
 type unmapTxn struct {
@@ -370,7 +400,9 @@ func (k *Kernel) HandleFault(vp mem.VPage, done faultCont) {
 	}
 
 	k.inProgress[vp] = nil
+	start := k.e.Now()
 	finish := func(at sim.Time, f mem.FrameID, okf bool) {
+		k.histFault.Observe(at - start)
 		conts := k.inProgress[vp]
 		delete(k.inProgress, vp)
 		done(at, f, okf)
@@ -748,8 +780,10 @@ func (k *Kernel) ClientDropped(g mem.GPage, src mem.NodeID) {
 func (k *Kernel) Deliver(src mem.NodeID, msg network.Message) bool {
 	switch m := msg.(type) {
 	case *PageInReq:
+		k.Stats.MsgPageInReq++
 		k.handlePageIn(src, m)
 	case *PageInResp:
+		k.Stats.MsgPageInResp++
 		conts := k.pendingIn[m.Page]
 		delete(k.pendingIn, m.Page)
 		at := k.e.Now()
@@ -757,21 +791,78 @@ func (k *Kernel) Deliver(src mem.NodeID, msg network.Message) bool {
 			c(at, m)
 		}
 	case *HomeUnmapReq:
+		k.Stats.MsgUnmapReq++
 		k.handleHomeUnmapReq(src, m)
 	case *HomeUnmapAck:
+		k.Stats.MsgUnmapAck++
 		k.handleHomeUnmapAck(src, m)
 	case *MigratePrepMsg:
+		k.Stats.MsgMigratePrep++
 		k.handleMigratePrep(src, m)
 	case *MigrateDataMsg:
+		k.Stats.MsgMigrateData++
 		k.handleMigrateData(src, m)
 	case *MigrateCommitMsg:
+		k.Stats.MsgMigrateCommit++
 		k.handleMigrateCommit(src, m)
 	case *MigrateDoneMsg:
+		k.Stats.MsgMigrateDone++
 		k.handleMigrateDone(src, m)
 	default:
 		return false
 	}
 	return true
+}
+
+// RegisterMetrics registers the kernel's paging counters, frame
+// accounting and latency histograms.
+func (k *Kernel) RegisterMetrics(r *metrics.Registry) {
+	nd := int(k.node)
+	s := &k.Stats
+	for _, ct := range []struct {
+		name string
+		v    *uint64
+	}{
+		{"faults", &s.Faults},
+		{"private_faults", &s.PrivateFaults},
+		{"home_faults", &s.HomeFaults},
+		{"client_faults", &s.ClientFaults},
+		{"flag_hits", &s.FlagHits},
+		{"page_in_msgs", &s.PageInMsgs},
+		{"client_page_outs", &s.ClientPageOuts},
+		{"conversions", &s.Conversions},
+		{"reverse_conversions", &s.ReverseConversions},
+		{"home_page_outs", &s.HomePageOuts},
+		{"migrations", &s.Migrations},
+		{"msg_page_in_req", &s.MsgPageInReq},
+		{"msg_page_in_resp", &s.MsgPageInResp},
+		{"msg_unmap_req", &s.MsgUnmapReq},
+		{"msg_unmap_ack", &s.MsgUnmapAck},
+		{"msg_migrate_prep", &s.MsgMigratePrep},
+		{"msg_migrate_data", &s.MsgMigrateData},
+		{"msg_migrate_commit", &s.MsgMigrateCommit},
+		{"msg_migrate_done", &s.MsgMigrateDone},
+		{"real_allocated", &s.RealAllocated},
+		{"imag_allocated", &s.ImagAllocated},
+	} {
+		v := ct.v
+		r.CounterFunc(nd, "kernel", ct.name, func() uint64 { return *v })
+	}
+	r.GaugeFunc(nd, "kernel", "real_frames_in_use", func() float64 { return float64(k.realInUse) })
+	r.GaugeFunc(nd, "kernel", "client_scoma_high", func() float64 { return float64(k.clientSCOMAHigh) })
+	r.GaugeFunc(nd, "kernel", "utilization", func() float64 { return k.Utilization() })
+	k.histFault = r.Histogram(nd, "kernel", "page_fault_cycles", metrics.DefaultLatencyBounds)
+	k.histMigration = r.Histogram(nd, "kernel", "migration_cycles", metrics.DefaultLatencyBounds)
+}
+
+// ResetStats clears the kernel's measurement counters and histograms,
+// following the machine-wide reset contract: whole-run frame
+// accounting (allocation totals, utilization accumulators and the
+// client S-COMA high-water mark) persists, as do all mappings.
+func (k *Kernel) ResetStats() {
+	k.Stats.ResetMeasurement()
+	k.histFault.Reset()
+	k.histMigration.Reset()
 }
 
 func (k *Kernel) handlePageIn(src mem.NodeID, m *PageInReq) {

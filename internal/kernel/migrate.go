@@ -71,7 +71,11 @@ func (k *Kernel) MigratePage(g mem.GPage, to mem.NodeID, done func(at sim.Time))
 	if k.migrating == nil {
 		k.migrating = make(map[mem.GPage]func(at sim.Time))
 	}
-	k.migrating[g] = done
+	start := k.e.Now()
+	k.migrating[g] = func(at sim.Time) {
+		k.histMigration.Observe(at - start)
+		done(at)
+	}
 	k.Stats.Migrations++
 	t := k.e.Now() + k.tm.PageOutKernel/2
 	k.net.Send(t, k.node, cur, k.tm.MsgHeader, &MigratePrepMsg{Page: g, To: to})

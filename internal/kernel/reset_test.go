@@ -1,0 +1,29 @@
+package kernel
+
+import "testing"
+
+// TestResetMeasurementContract asserts the machine-wide reset
+// contract for kernel statistics: measurement counters clear while
+// whole-run frame accounting — the Table 3 quantities RealAllocated,
+// ImagAllocated, UtilSum, UtilFrames — persists.
+func TestResetMeasurementContract(t *testing.T) {
+	s := Stats{
+		Faults:        7,
+		ClientFaults:  4,
+		Conversions:   2,
+		Migrations:    1,
+		MsgPageInReq:  5,
+		RealAllocated: 9,
+		ImagAllocated: 3,
+		UtilSum:       1.5,
+		UtilFrames:    4,
+	}
+	s.ResetMeasurement()
+	if s.Faults != 0 || s.ClientFaults != 0 || s.Conversions != 0 ||
+		s.Migrations != 0 || s.MsgPageInReq != 0 {
+		t.Fatalf("counters survived reset: %+v", s)
+	}
+	if s.RealAllocated != 9 || s.ImagAllocated != 3 || s.UtilSum != 1.5 || s.UtilFrames != 4 {
+		t.Fatalf("whole-run accounting lost: %+v", s)
+	}
+}

@@ -7,10 +7,10 @@ package latency
 
 import (
 	"fmt"
-	"strings"
 
 	"prism/internal/core"
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/sim"
 )
 
@@ -64,13 +64,12 @@ func Measure(cfg core.Config) ([]Row, error) {
 
 // Format renders rows as the Table 1 report.
 func Format(rows []Row) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-42s %8s %9s %7s\n", "Memory Access Type", "paper", "measured", "ratio")
+	tb := metrics.NewTable("Memory Access Type", "paper", "measured", "ratio")
 	for _, r := range rows {
 		ratio := float64(r.Measured) / float64(r.Paper)
-		fmt.Fprintf(&b, "%-42s %8d %9d %7.2f\n", r.Name, r.Paper, r.Measured, ratio)
+		tb.Row(r.Name, fmt.Sprintf("%d", r.Paper), fmt.Sprintf("%d", r.Measured), fmt.Sprintf("%.2f", ratio))
 	}
-	return b.String()
+	return tb.String()
 }
 
 // prober is the scripted workload.

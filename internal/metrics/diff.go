@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+)
+
+// Delta is one metric's value in two exports. Histograms contribute
+// one Delta per exported aspect (count, sum, max), with the aspect
+// appended to the name, so everything diffs as a scalar.
+type Delta struct {
+	Component string
+	Name      string
+	Node      int
+	Kind      string
+	A, B      float64
+	// InA/InB record presence; a metric missing from one side diffs
+	// against zero but is flagged in the report.
+	InA, InB bool
+}
+
+// Changed reports whether the two sides differ.
+func (d *Delta) Changed() bool { return d.A != d.B || d.InA != d.InB }
+
+// PercentDelta returns the relative change from A to B in percent.
+// Growth from zero has no finite percentage; callers render that case
+// specially (Diff output prints "new").
+func (d *Delta) PercentDelta() float64 {
+	if d.A == 0 {
+		return 0
+	}
+	return (d.B - d.A) / d.A * 100
+}
+
+type flatKey struct {
+	component string
+	name      string
+	node      int
+}
+
+type flatVal struct {
+	kind string
+	val  float64
+}
+
+func flatten(e *Export) map[flatKey]flatVal {
+	out := make(map[flatKey]flatVal, len(e.Points))
+	for i := range e.Points {
+		p := &e.Points[i]
+		k := flatKey{p.Component, p.Name, p.Node}
+		switch p.Kind {
+		case KindGauge:
+			out[k] = flatVal{KindGauge, p.Gauge}
+		case KindHistogram:
+			if p.Hist == nil {
+				continue
+			}
+			out[flatKey{p.Component, p.Name + ".count", p.Node}] = flatVal{KindHistogram, float64(p.Hist.Count)}
+			out[flatKey{p.Component, p.Name + ".sum", p.Node}] = flatVal{KindHistogram, float64(p.Hist.Sum)}
+			out[flatKey{p.Component, p.Name + ".max", p.Node}] = flatVal{KindHistogram, float64(p.Hist.Max)}
+		default:
+			out[k] = flatVal{KindCounter, float64(p.Value)}
+		}
+	}
+	return out
+}
+
+// matchOnly reports whether component/name matches any of the
+// prefixes ("network" matches the whole component; "coherence/msg_"
+// matches one name family). An empty filter matches everything.
+func matchOnly(only []string, component, name string) bool {
+	if len(only) == 0 {
+		return true
+	}
+	id := component + "/" + name
+	for _, p := range only {
+		if strings.HasPrefix(id, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff compares two exports metric-by-metric, returning every matched
+// metric (changed or not) in export order. only optionally restricts
+// the comparison to metrics whose "component/name" has one of the
+// given prefixes.
+func Diff(a, b *Export, only []string) []Delta {
+	fa, fb := flatten(a), flatten(b)
+	keys := make([]flatKey, 0, len(fa))
+	seen := make(map[flatKey]bool, len(fa))
+	for k := range fa {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range fb {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		x, y := keys[i], keys[j]
+		if x.component != y.component {
+			return x.component < y.component
+		}
+		if x.name != y.name {
+			return x.name < y.name
+		}
+		return x.node < y.node
+	})
+
+	var out []Delta
+	for _, k := range keys {
+		if !matchOnly(only, k.component, k.name) {
+			continue
+		}
+		va, inA := fa[k]
+		vb, inB := fb[k]
+		kind := va.kind
+		if !inA {
+			kind = vb.kind
+		}
+		out = append(out, Delta{
+			Component: k.component, Name: k.name, Node: k.node,
+			Kind: kind, A: va.val, B: vb.val, InA: inA, InB: inB,
+		})
+	}
+	return out
+}
+
+// Changed filters a Diff result down to the rows that differ.
+func Changed(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Changed() {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Schema is the export format version, bumped on incompatible change.
+const Schema = 1
+
+// HistData is a histogram's exported state.
+type HistData struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Bounds  []uint64 `json:"bounds"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (d *HistData) Mean() float64 {
+	if d == nil || d.Count == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Count)
+}
+
+// Point is one instrument's exported value.
+type Point struct {
+	Component string    `json:"component"`
+	Name      string    `json:"name"`
+	Node      int       `json:"node"` // MachineScope for machine-wide
+	Kind      string    `json:"kind"`
+	Value     uint64    `json:"value,omitempty"` // counter
+	Gauge     float64   `json:"gauge,omitempty"` // gauge
+	Hist      *HistData `json:"hist,omitempty"`  // histogram
+}
+
+// ID renders the point's identity (without the kind) for tables and
+// diff output.
+func (p *Point) ID() string {
+	return Key{Node: p.Node, Component: p.Component, Name: p.Name}.String()
+}
+
+// Sample is one interval snapshot of the scalar instruments.
+type Sample struct {
+	At     uint64  `json:"at"` // simulated time, cycles
+	Points []Point `json:"points"`
+}
+
+// Export is one run's complete telemetry: final instrument values
+// plus the interval time series when a sampler ran. Field order is
+// fixed by the struct (no maps anywhere), so marshaling is stable.
+type Export struct {
+	Schema   int      `json:"schema"`
+	Workload string   `json:"workload,omitempty"`
+	Policy   string   `json:"policy,omitempty"`
+	Cycles   uint64   `json:"cycles"`
+	Points   []Point  `json:"points"`
+	Samples  []Sample `json:"samples,omitempty"`
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(e)
+}
+
+// WriteJSONFile writes the export to path.
+func (e *Export) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSV writes the final points as flat CSV; histogram buckets are
+// semicolon-joined so a row stays one record.
+func (e *Export) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "component,name,node,kind,value,hist_count,hist_sum,hist_min,hist_max,hist_buckets"); err != nil {
+		return err
+	}
+	for i := range e.Points {
+		p := &e.Points[i]
+		var val string
+		switch p.Kind {
+		case KindGauge:
+			val = fmt.Sprintf("%.6g", p.Gauge)
+		default:
+			val = fmt.Sprintf("%d", p.Value)
+		}
+		var hc, hs, hmin, hmax uint64
+		var buckets string
+		if p.Hist != nil {
+			hc, hs, hmin, hmax = p.Hist.Count, p.Hist.Sum, p.Hist.Min, p.Hist.Max
+			parts := make([]string, len(p.Hist.Buckets))
+			for j, b := range p.Hist.Buckets {
+				parts[j] = fmt.Sprintf("%d", b)
+			}
+			buckets = strings.Join(parts, ";")
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s,%d,%d,%d,%d,%s\n",
+			p.Component, p.Name, p.Node, p.Kind, val, hc, hs, hmin, hmax, buckets); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadExport parses a JSON export written by WriteJSON.
+func ReadExport(r io.Reader) (*Export, error) {
+	var e Export
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	if e.Schema != Schema {
+		return nil, fmt.Errorf("metrics: export schema %d, want %d", e.Schema, Schema)
+	}
+	return &e, nil
+}
+
+// ReadExportFile parses the JSON export at path.
+func ReadExportFile(path string) (*Export, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e, err := ReadExport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return e, nil
+}

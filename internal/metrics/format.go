@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table renders aligned text tables: first column left-aligned,
+// remaining columns right-aligned, columns sized to their widest
+// cell. It is the one formatter behind prismstat, the Results block,
+// the latency microbenchmark and the harness's experiment tables —
+// replacing the hand-rolled fmt.Fprintf grids each of those carried.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends one row; short rows are padded with empty cells.
+func (t *Table) Row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table, one trailing newline included.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < len(width); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], c)
+			}
+		}
+		// Trim the padding of a short final cell.
+		s := b.String()
+		for len(s) > 0 && s[len(s)-1] == ' ' {
+			s = s[:len(s)-1]
+		}
+		b.Reset()
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatSummary renders an export as per-component tables: scalar
+// metrics as one row per name with a column per node, histograms as
+// count/mean/max rows.
+func FormatSummary(e *Export) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s policy=%s cycles=%d\n", e.Workload, e.Policy, e.Cycles)
+
+	type cell struct {
+		p *Point
+	}
+	byComp := make(map[string]map[string]map[int]cell) // component → name → node
+	var comps []string
+	for i := range e.Points {
+		p := &e.Points[i]
+		names, ok := byComp[p.Component]
+		if !ok {
+			names = make(map[string]map[int]cell)
+			byComp[p.Component] = names
+			comps = append(comps, p.Component)
+		}
+		nodes, ok := names[p.Name]
+		if !ok {
+			nodes = make(map[int]cell)
+			names[p.Name] = nodes
+		}
+		nodes[p.Node] = cell{p}
+	}
+	sort.Strings(comps)
+
+	for _, comp := range comps {
+		names := byComp[comp]
+		nameList := make([]string, 0, len(names))
+		nodeSet := make(map[int]bool)
+		hasHist := false
+		for name, nodes := range names {
+			nameList = append(nameList, name)
+			for nd, c := range nodes {
+				nodeSet[nd] = true
+				if c.p.Kind == KindHistogram {
+					hasHist = true
+				}
+			}
+		}
+		sort.Strings(nameList)
+		nodeList := make([]int, 0, len(nodeSet))
+		for nd := range nodeSet {
+			nodeList = append(nodeList, nd)
+		}
+		sort.Ints(nodeList)
+
+		header := []string{comp, "total"}
+		perNode := len(nodeList) > 1 || (len(nodeList) == 1 && nodeList[0] != MachineScope)
+		if perNode {
+			for _, nd := range nodeList {
+				header = append(header, fmt.Sprintf("n%d", nd))
+			}
+		}
+
+		tbl := NewTable(header...)
+		var hists []string
+		for _, name := range nameList {
+			nodes := names[name]
+			kind := ""
+			for _, c := range nodes {
+				kind = c.p.Kind
+				break
+			}
+			if kind == KindHistogram {
+				hists = append(hists, name)
+				continue
+			}
+			row := []string{name, ""}
+			var total float64
+			for _, nd := range nodeList {
+				val := ""
+				if c, ok := nodes[nd]; ok {
+					if c.p.Kind == KindGauge {
+						total += c.p.Gauge
+						val = fmt.Sprintf("%.3f", c.p.Gauge)
+					} else {
+						total += float64(c.p.Value)
+						val = fmt.Sprintf("%d", c.p.Value)
+					}
+				}
+				if perNode {
+					row = append(row, val)
+				}
+			}
+			if kind == KindGauge {
+				row[1] = fmt.Sprintf("%.3f", total)
+			} else {
+				row[1] = fmt.Sprintf("%.0f", total)
+			}
+			tbl.rows = append(tbl.rows, row)
+		}
+		b.WriteString("\n")
+		b.WriteString(tbl.String())
+
+		if hasHist {
+			htbl := NewTable(comp+" (latency)", "count", "mean", "max")
+			for _, name := range hists {
+				nodes := names[name]
+				agg := HistData{}
+				for _, nd := range nodeList {
+					c, ok := nodes[nd]
+					if !ok || c.p.Hist == nil {
+						continue
+					}
+					h := c.p.Hist
+					agg.Count += h.Count
+					agg.Sum += h.Sum
+					if h.Max > agg.Max {
+						agg.Max = h.Max
+					}
+				}
+				htbl.Row(name, fmt.Sprintf("%d", agg.Count),
+					fmt.Sprintf("%.1f", agg.Mean()), fmt.Sprintf("%d", agg.Max))
+			}
+			b.WriteString(htbl.String())
+		}
+	}
+	return b.String()
+}
+
+// FormatDiff renders changed deltas with absolute and percent change.
+// all=true includes unchanged rows.
+func FormatDiff(deltas []Delta, all bool) string {
+	tbl := NewTable("metric", "node", "a", "b", "delta", "pct")
+	changed := 0
+	for _, d := range deltas {
+		if d.Changed() {
+			changed++
+		} else if !all {
+			continue
+		}
+		node := ""
+		if d.Node != MachineScope {
+			node = fmt.Sprintf("n%d", d.Node)
+		}
+		pct := ""
+		switch {
+		case !d.InA:
+			pct = "new"
+		case !d.InB:
+			pct = "gone"
+		case d.A == 0 && d.B != 0:
+			pct = "new"
+		case d.Changed():
+			pct = fmt.Sprintf("%+.1f%%", d.PercentDelta())
+		}
+		tbl.Row(d.Component+"/"+d.Name, node,
+			formatVal(d.Kind, d.A), formatVal(d.Kind, d.B),
+			fmt.Sprintf("%+g", d.B-d.A), pct)
+	}
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "%d metrics compared, %d differ\n", len(deltas), changed)
+	return b.String()
+}
+
+func formatVal(kind string, v float64) string {
+	if kind == KindGauge {
+		return fmt.Sprintf("%.3f", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

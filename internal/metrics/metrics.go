@@ -1,0 +1,297 @@
+// Package metrics is the simulation-time telemetry subsystem: a
+// registry of typed instruments — counters, gauges and fixed-bucket
+// latency histograms — keyed by (node, component, name), with
+// deterministic exporters and an interval sampler driven by the
+// simulated clock.
+//
+// Determinism is the design constraint. Counters and gauges are
+// read-through closures over the model's existing Stats fields, so
+// registration and snapshotting never touch model state; histograms
+// are observe-only accumulators fed from engine context. Nothing in
+// this package consults the wall clock or a random source, so a run
+// produces byte-identical exports regardless of whether anyone reads
+// them — the PR-1 determinism gate holds with telemetry on or off.
+//
+// Like every model object, a Registry inherits the engine's
+// one-owner-goroutine confinement: it is built with its Machine and
+// must only be touched from the goroutine driving that machine.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"prism/internal/sim"
+)
+
+// MachineScope is the Node value for machine-wide instruments that
+// have no per-node breakdown (network totals, barrier counts).
+const MachineScope = -1
+
+// Key identifies one instrument.
+type Key struct {
+	Node      int // node id, or MachineScope
+	Component string
+	Name      string
+}
+
+func (k Key) String() string {
+	if k.Node == MachineScope {
+		return k.Component + "/" + k.Name
+	}
+	return fmt.Sprintf("%s/%s[n%d]", k.Component, k.Name, k.Node)
+}
+
+// Instrument kinds, as they appear in exports.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+type instrument struct {
+	key     Key
+	kind    string
+	counter func() uint64
+	gauge   func() float64
+	hist    *Histogram
+}
+
+// Registry holds a machine's instruments. The zero value is not
+// usable; create one with NewRegistry. All methods are nil-safe on
+// the receiver so components can be built and exercised without
+// telemetry (unit tests construct controllers bare).
+type Registry struct {
+	byKey map[Key]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[Key]*instrument)}
+}
+
+func (r *Registry) add(in *instrument) {
+	if r == nil {
+		return
+	}
+	if _, dup := r.byKey[in.key]; dup {
+		panic(fmt.Sprintf("metrics: duplicate instrument %s", in.key))
+	}
+	r.byKey[in.key] = in
+}
+
+// CounterFunc registers a monotonically non-decreasing counter read
+// through fn at snapshot time.
+func (r *Registry) CounterFunc(node int, component, name string, fn func() uint64) {
+	r.add(&instrument{key: Key{node, component, name}, kind: KindCounter, counter: fn})
+}
+
+// GaugeFunc registers a point-in-time value read through fn.
+func (r *Registry) GaugeFunc(node int, component, name string, fn func() float64) {
+	r.add(&instrument{key: Key{node, component, name}, kind: KindGauge, gauge: fn})
+}
+
+// Histogram registers and returns a latency histogram with the given
+// ascending bucket upper bounds (an implicit +Inf bucket is added).
+// On a nil registry it returns nil, which Observe tolerates, so
+// instrumented code needs no telemetry-enabled check.
+func (r *Registry) Histogram(node int, component, name string, bounds []sim.Time) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := newHistogram(bounds)
+	r.add(&instrument{key: Key{node, component, name}, kind: KindHistogram, hist: h})
+	return h
+}
+
+// Len returns the number of registered instruments.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.byKey)
+}
+
+// sortedKeys returns registration keys in export order: component,
+// then name, then node — so per-node series of one metric are
+// adjacent in exports.
+func (r *Registry) sortedKeys() []Key {
+	keys := make([]Key, 0, len(r.byKey))
+	for k := range r.byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Node < b.Node
+	})
+	return keys
+}
+
+// Snapshot reads every instrument into a stable-ordered point list.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	pts := make([]Point, 0, len(r.byKey))
+	for _, k := range r.sortedKeys() {
+		pts = append(pts, r.byKey[k].point())
+	}
+	return pts
+}
+
+// SnapshotScalars is Snapshot restricted to counters and gauges —
+// what the interval sampler records, keeping time series compact.
+func (r *Registry) SnapshotScalars() []Point {
+	if r == nil {
+		return nil
+	}
+	pts := make([]Point, 0, len(r.byKey))
+	for _, k := range r.sortedKeys() {
+		in := r.byKey[k]
+		if in.kind == KindHistogram {
+			continue
+		}
+		pts = append(pts, in.point())
+	}
+	return pts
+}
+
+// ResetHistograms clears every histogram's accumulators (the
+// measured-phase reset; counters are views and reset with their
+// backing Stats structs).
+func (r *Registry) ResetHistograms() {
+	if r == nil {
+		return
+	}
+	for _, in := range r.byKey {
+		if in.hist != nil {
+			in.hist.Reset()
+		}
+	}
+}
+
+func (in *instrument) point() Point {
+	p := Point{
+		Component: in.key.Component,
+		Name:      in.key.Name,
+		Node:      in.key.Node,
+		Kind:      in.kind,
+	}
+	switch in.kind {
+	case KindCounter:
+		p.Value = in.counter()
+	case KindGauge:
+		p.Gauge = in.gauge()
+	case KindHistogram:
+		p.Hist = in.hist.snapshot()
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+// DefaultLatencyBounds covers the machine's latency range, from an L2
+// hit through heavily queued page operations, in powers of two.
+var DefaultLatencyBounds = []sim.Time{
+	16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144,
+}
+
+// Histogram accumulates cycle latencies into fixed buckets. Unlike
+// counters it stores its own state: the instrumented sites have no
+// existing Stats field to view. A nil *Histogram ignores Observe, so
+// components not wired to a registry pay one branch per observation.
+type Histogram struct {
+	bounds []sim.Time // ascending upper bounds (inclusive)
+	counts []uint64   // len(bounds)+1; last is the overflow bucket
+	count  uint64
+	sum    uint64
+	min    sim.Time
+	max    sim.Time
+}
+
+func newHistogram(bounds []sim.Time) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]sim.Time(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one latency of v cycles.
+func (h *Histogram) Observe(v sim.Time) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += uint64(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() sim.Time {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Reset clears the accumulators; the bucket geometry persists.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+func (h *Histogram) snapshot() *HistData {
+	d := &HistData{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     uint64(h.min),
+		Max:     uint64(h.max),
+		Bounds:  make([]uint64, len(h.bounds)),
+		Buckets: append([]uint64(nil), h.counts...),
+	}
+	for i, b := range h.bounds {
+		d.Bounds[i] = uint64(b)
+	}
+	return d
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prism/internal/sim"
+)
+
+func TestRegistrySnapshotOrderAndKinds(t *testing.T) {
+	r := NewRegistry()
+	var c1, c0 uint64
+	r.CounterFunc(1, "cache", "reads", func() uint64 { return c1 })
+	r.CounterFunc(0, "cache", "reads", func() uint64 { return c0 })
+	r.GaugeFunc(MachineScope, "kernel", "util", func() float64 { return 0.5 })
+	h := r.Histogram(0, "coherence", "remote_miss_cycles", []sim.Time{10, 100})
+
+	c0, c1 = 7, 11
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	pts := r.Snapshot()
+	ids := make([]string, len(pts))
+	for i := range pts {
+		ids[i] = pts[i].ID()
+	}
+	want := []string{"cache/reads[n0]", "cache/reads[n1]", "coherence/remote_miss_cycles[n0]", "kernel/util"}
+	if strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Fatalf("snapshot order %v, want %v", ids, want)
+	}
+	if pts[0].Value != 7 || pts[1].Value != 11 {
+		t.Fatalf("counter values %d,%d", pts[0].Value, pts[1].Value)
+	}
+	if pts[3].Gauge != 0.5 {
+		t.Fatalf("gauge value %v", pts[3].Gauge)
+	}
+	hd := pts[2].Hist
+	if hd == nil || hd.Count != 3 || hd.Sum != 5055 || hd.Min != 5 || hd.Max != 5000 {
+		t.Fatalf("hist snapshot %+v", hd)
+	}
+	if len(hd.Buckets) != 3 || hd.Buckets[0] != 1 || hd.Buckets[1] != 1 || hd.Buckets[2] != 1 {
+		t.Fatalf("hist buckets %v", hd.Buckets)
+	}
+
+	// Scalars exclude the histogram.
+	if got := len(r.SnapshotScalars()); got != 3 {
+		t.Fatalf("SnapshotScalars returned %d points, want 3", got)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc(0, "c", "n", func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.CounterFunc(0, "c", "n", func() uint64 { return 0 })
+}
+
+func TestNilRegistryAndHistogramAreSafe(t *testing.T) {
+	var r *Registry
+	r.CounterFunc(0, "c", "n", func() uint64 { return 0 })
+	h := r.Histogram(0, "c", "h", DefaultLatencyBounds)
+	if h != nil {
+		t.Fatal("nil registry returned a histogram")
+	}
+	h.Observe(10) // must not crash
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram reported observations")
+	}
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	r.ResetHistograms()
+}
+
+func TestHistogramBucketsAndReset(t *testing.T) {
+	h := newHistogram([]sim.Time{10, 20})
+	for _, v := range []sim.Time{1, 10, 11, 20, 21, 1000} {
+		h.Observe(v)
+	}
+	// Bounds are inclusive: 10 lands in bucket 0, 20 in bucket 1.
+	if h.counts[0] != 2 || h.counts[1] != 2 || h.counts[2] != 2 {
+		t.Fatalf("bucket counts %v", h.counts)
+	}
+	if h.Count() != 6 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.counts[0] != 0 {
+		t.Fatalf("reset left state: %+v", h)
+	}
+	h.Observe(5)
+	if h.Count() != 1 || h.min != 5 {
+		t.Fatalf("post-reset observe broken: %+v", h)
+	}
+}
+
+func TestSamplerSelfLimits(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRegistry()
+	var work uint64
+	r.CounterFunc(MachineScope, "test", "work", func() uint64 { return work })
+
+	// A "workload" that finishes at t=450.
+	live := true
+	for i := 1; i <= 9; i++ {
+		e.Schedule(sim.Time(i*50), func() { work++ })
+	}
+	e.Schedule(450, func() { live = false })
+
+	s := AttachSampler(e, r, 100, func() bool { return live })
+	e.RunUntilIdle()
+
+	// Ticks at 100..400 sample; the tick at 500 sees live=false, does
+	// not record, and stops rescheduling (the queue drained, or
+	// RunUntilIdle would not have returned).
+	if len(s.Samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(s.Samples))
+	}
+	for i, smp := range s.Samples {
+		wantAt := uint64((i + 1) * 100)
+		if smp.At != wantAt {
+			t.Fatalf("sample %d at %d, want %d", i, smp.At, wantAt)
+		}
+		wantWork := uint64((i + 1) * 2)
+		if smp.Points[0].Value != wantWork {
+			t.Fatalf("sample %d work=%d, want %d", i, smp.Points[0].Value, wantWork)
+		}
+	}
+}
+
+func exportFixture() *Export {
+	return &Export{
+		Schema: Schema, Workload: "fft", Policy: "SCOMA", Cycles: 1234,
+		Points: []Point{
+			{Component: "cache", Name: "reads", Node: 0, Kind: KindCounter, Value: 10},
+			{Component: "cache", Name: "reads", Node: 1, Kind: KindCounter, Value: 20},
+			{Component: "kernel", Name: "util", Node: MachineScope, Kind: KindGauge, Gauge: 0.25},
+			{Component: "sync", Name: "lock_acquire_cycles", Node: 0, Kind: KindHistogram,
+				Hist: &HistData{Count: 2, Sum: 30, Min: 10, Max: 20, Bounds: []uint64{16}, Buckets: []uint64{1, 1}}},
+		},
+	}
+}
+
+func TestExportJSONRoundTripStable(t *testing.T) {
+	e := exportFixture()
+	var a, b bytes.Buffer
+	if err := e.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExport(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("round trip not byte-stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := exportFixture().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), b.String())
+	}
+	if lines[4] != "sync,lock_acquire_cycles,0,histogram,0,2,30,10,20,1;1" {
+		t.Fatalf("hist CSV row %q", lines[4])
+	}
+}
+
+func TestDiffIdenticalIsZero(t *testing.T) {
+	ds := Diff(exportFixture(), exportFixture(), nil)
+	if len(ds) == 0 {
+		t.Fatal("diff produced no rows")
+	}
+	if ch := Changed(ds); len(ch) != 0 {
+		t.Fatalf("identical exports differ: %+v", ch)
+	}
+}
+
+func TestDiffDetectsChangesAndFilters(t *testing.T) {
+	a, b := exportFixture(), exportFixture()
+	b.Points[1].Value = 25 // cache/reads[n1] 20 → 25
+	b.Points[3].Hist.Count = 3
+
+	ds := Changed(Diff(a, b, nil))
+	if len(ds) != 2 {
+		t.Fatalf("changed rows: %+v", ds)
+	}
+	if ds[0].Component != "cache" || ds[0].B != 25 || ds[0].PercentDelta() != 25 {
+		t.Fatalf("first delta %+v", ds[0])
+	}
+	if ds[1].Name != "lock_acquire_cycles.count" {
+		t.Fatalf("second delta %+v", ds[1])
+	}
+
+	// Prefix filter restricts the comparison.
+	only := Changed(Diff(a, b, []string{"cache/"}))
+	if len(only) != 1 || only[0].Component != "cache" {
+		t.Fatalf("filtered deltas %+v", only)
+	}
+
+	// A metric missing on one side is flagged, not dropped.
+	b.Points = b.Points[:3]
+	ds = Changed(Diff(a, b, []string{"sync/"}))
+	if len(ds) != 3 {
+		t.Fatalf("missing-side deltas %+v", ds)
+	}
+	for _, d := range ds {
+		if d.InB || !d.InA {
+			t.Fatalf("presence flags wrong: %+v", d)
+		}
+	}
+}
+
+func TestFormatSummaryAndDiff(t *testing.T) {
+	out := FormatSummary(exportFixture())
+	for _, want := range []string{"workload=fft policy=SCOMA cycles=1234", "cache", "reads", "n0", "n1", "30", "lock_acquire_cycles", "15.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	a, b := exportFixture(), exportFixture()
+	b.Points[0].Value = 15
+	txt := FormatDiff(Diff(a, b, nil), false)
+	if !strings.Contains(txt, "+50.0%") || !strings.Contains(txt, "1 differ") {
+		t.Fatalf("diff output:\n%s", txt)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("app", "cycles")
+	tbl.Row("fft", "123")
+	tbl.Row("ocean-long", "4")
+	got := tbl.String()
+	want := "app         cycles\nfft            123\nocean-long       4\n"
+	if got != want {
+		t.Fatalf("table:\n%q\nwant\n%q", got, want)
+	}
+}

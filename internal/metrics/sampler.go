@@ -1,0 +1,44 @@
+package metrics
+
+import "prism/internal/sim"
+
+// Sampler snapshots a registry's scalar instruments at fixed
+// simulated-time intervals, producing the export's time series.
+//
+// The sampler is self-limiting, like the migration daemon: each tick
+// reschedules only while the workload is still live (per the active
+// callback), so the event queue can drain and Engine.RunUntilIdle
+// terminates. Ticks read but never mutate model state, so the event
+// interleaving of model events is unchanged — a sampled run and an
+// unsampled run produce identical Results.
+type Sampler struct {
+	e      *sim.Engine
+	r      *Registry
+	every  sim.Time
+	active func() bool
+
+	// Samples accumulates one entry per tick, in time order.
+	Samples []Sample
+}
+
+// AttachSampler schedules interval sampling on e: the first snapshot
+// fires at now+every and sampling continues while active() holds.
+func AttachSampler(e *sim.Engine, r *Registry, every sim.Time, active func() bool) *Sampler {
+	if every == 0 {
+		panic("metrics: sampler interval must be positive")
+	}
+	s := &Sampler{e: e, r: r, every: every, active: active}
+	e.Schedule(every, s.tick)
+	return s
+}
+
+func (s *Sampler) tick() {
+	if s.active != nil && !s.active() {
+		return
+	}
+	s.Samples = append(s.Samples, Sample{
+		At:     uint64(s.e.Now()),
+		Points: s.r.SnapshotScalars(),
+	})
+	s.e.Schedule(s.every, s.tick)
+}

@@ -8,6 +8,7 @@ package migrate
 import (
 	"prism/internal/core"
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/sim"
 )
 
@@ -47,10 +48,15 @@ type Daemon struct {
 
 // Attach starts a daemon on machine m scanning every interval cycles.
 // Call before Machine.Run; the daemon stops itself when the engine
-// drains (its events reschedule only while work remains).
+// drains (its events reschedule only while work remains). The daemon
+// reports through the machine's telemetry registry.
 func Attach(m *core.Machine, interval sim.Time, pol Policy) *Daemon {
 	d := &Daemon{m: m, pol: pol, interval: interval}
 	m.E.Schedule(interval, d.scan)
+	m.Metrics.CounterFunc(metrics.MachineScope, "migrate", "scans", func() uint64 { return d.Stats.Scans })
+	m.Metrics.CounterFunc(metrics.MachineScope, "migrate", "considered", func() uint64 { return d.Stats.Considered })
+	m.Metrics.CounterFunc(metrics.MachineScope, "migrate", "requested", func() uint64 { return d.Stats.Requested })
+	m.Metrics.CounterFunc(metrics.MachineScope, "migrate", "errors", func() uint64 { return d.Stats.Errors })
 	return d
 }
 

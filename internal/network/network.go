@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/sim"
 )
 
@@ -114,11 +115,31 @@ func (n *Network) Send(at sim.Time, src, dst mem.NodeID, size int, msg Message) 
 	})
 }
 
-// ResetStats clears counters (NI occupancy horizons are kept).
+// ResetStats clears counters (NI occupancy horizons are kept),
+// following the machine-wide reset contract: measurement counters
+// clear, structural state persists.
 func (n *Network) ResetStats() {
 	n.Stats = Stats{}
 	for i := range n.sendNI {
 		n.sendNI[i].Reset()
 		n.recvNI[i].Reset()
+	}
+}
+
+// RegisterMetrics registers the interconnect with the telemetry
+// registry: machine-scope message/byte totals plus per-node NI
+// occupancy (grants issued and busy/wait cycles on both the send and
+// receive interfaces — the wait totals are the NI-occupancy stalls).
+func (n *Network) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc(metrics.MachineScope, "network", "messages", func() uint64 { return n.Stats.Messages })
+	r.CounterFunc(metrics.MachineScope, "network", "bytes", func() uint64 { return n.Stats.Bytes })
+	for i := range n.sendNI {
+		send, recv := &n.sendNI[i], &n.recvNI[i]
+		r.CounterFunc(i, "network", "ni_send_grants", func() uint64 { return send.Grants })
+		r.CounterFunc(i, "network", "ni_send_busy_cycles", func() uint64 { return uint64(send.BusyTotal) })
+		r.CounterFunc(i, "network", "ni_send_wait_cycles", func() uint64 { return uint64(send.WaitTotal) })
+		r.CounterFunc(i, "network", "ni_recv_grants", func() uint64 { return recv.Grants })
+		r.CounterFunc(i, "network", "ni_recv_busy_cycles", func() uint64 { return uint64(recv.BusyTotal) })
+		r.CounterFunc(i, "network", "ni_recv_wait_cycles", func() uint64 { return uint64(recv.WaitTotal) })
 	}
 }

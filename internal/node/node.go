@@ -14,6 +14,7 @@ import (
 	"prism/internal/directory"
 	"prism/internal/kernel"
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/network"
 	"prism/internal/pit"
 	"prism/internal/sim"
@@ -50,6 +51,21 @@ func DefaultConfig(geom mem.Geometry) Config {
 	}
 }
 
+// BusStats counts L2-miss bus dispatches by the frame's page mode and
+// where the fill was served — the per-mode hit/miss split the cache
+// layer cannot see (caches are mode-oblivious; the mode is known only
+// at bus-dispatch time, Figure 4).
+type BusStats struct {
+	LocalFills   uint64 // Local-mode frames (always served on-node)
+	SCOMALocal   uint64 // S-COMA frames served from local memory/caches
+	SCOMARemote  uint64 // S-COMA frames handed to the controller
+	LANUMALocal  uint64 // LA-NUMA frames served by on-node snooping
+	LANUMARemote uint64 // LA-NUMA frames handed to the controller
+}
+
+// Reset zeroes the counters.
+func (s *BusStats) Reset() { *s = BusStats{} }
+
 // Node is one compute node.
 type Node struct {
 	ID   mem.NodeID
@@ -64,6 +80,8 @@ type Node struct {
 	addrBus sim.Resource
 	dataBus sim.Resource
 	memRes  sim.Resource
+
+	BusStats BusStats
 }
 
 // New builds a node and its controller, binding the kernel to both.
@@ -158,6 +176,23 @@ func (n *Node) busTransaction(p *Proc, la mem.PAddr, write bool, resume func(at 
 	}
 
 	n.Ctrl.PIT.Touch(f, ln, t, false)
+
+	switch ent.Mode {
+	case pit.ModeLocal:
+		n.BusStats.LocalFills++
+	case pit.ModeSCOMA:
+		if localOK {
+			n.BusStats.SCOMALocal++
+		} else {
+			n.BusStats.SCOMARemote++
+		}
+	case pit.ModeLANUMA:
+		if localOK {
+			n.BusStats.LANUMALocal++
+		} else {
+			n.BusStats.LANUMARemote++
+		}
+	}
 
 	if localOK {
 		if snoopSt != cache.Invalid {
@@ -360,3 +395,98 @@ func (n *Node) MemResource() *sim.Resource { return &n.memRes }
 
 // BusResources exposes the bus occupancy models (for stats).
 func (n *Node) BusResources() (addr, data *sim.Resource) { return &n.addrBus, &n.dataBus }
+
+// RegisterMetrics registers this node's hardware with the telemetry
+// registry: aggregated processor and cache counters, the per-mode bus
+// fill split, bus/memory occupancy, and — via the controller and
+// kernel — the coherence, sync, PIT, directory and paging components.
+func (n *Node) RegisterMetrics(r *metrics.Registry) {
+	nd := int(n.ID)
+
+	procSum := func(f func(*ProcStats) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, p := range n.Procs {
+				t += f(&p.Stats)
+			}
+			return t
+		}
+	}
+	r.CounterFunc(nd, "proc", "reads", procSum(func(s *ProcStats) uint64 { return s.Reads }))
+	r.CounterFunc(nd, "proc", "writes", procSum(func(s *ProcStats) uint64 { return s.Writes }))
+	r.CounterFunc(nd, "proc", "l1_misses", procSum(func(s *ProcStats) uint64 { return s.L1Misses }))
+	r.CounterFunc(nd, "proc", "l2_misses", procSum(func(s *ProcStats) uint64 { return s.L2Misses }))
+	r.CounterFunc(nd, "proc", "upgrades", procSum(func(s *ProcStats) uint64 { return s.Upgrades }))
+	r.CounterFunc(nd, "proc", "tlb_misses", procSum(func(s *ProcStats) uint64 { return s.TLBMisses }))
+	r.CounterFunc(nd, "proc", "page_faults", procSum(func(s *ProcStats) uint64 { return s.PageFaults }))
+	r.CounterFunc(nd, "proc", "access_faults", procSum(func(s *ProcStats) uint64 { return s.AccessFaults }))
+	r.CounterFunc(nd, "proc", "sync_ops", procSum(func(s *ProcStats) uint64 { return s.SyncOps }))
+	r.CounterFunc(nd, "proc", "stall_cycles", procSum(func(s *ProcStats) uint64 { return uint64(s.StallCycles) }))
+	r.CounterFunc(nd, "proc", "busy_cycles", procSum(func(s *ProcStats) uint64 { return uint64(s.BusyCycles) }))
+
+	cacheSum := func(level func(*Proc) *cache.Cache, f func(*cache.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, p := range n.Procs {
+				t += f(&level(p).Stats)
+			}
+			return t
+		}
+	}
+	for _, lvl := range []struct {
+		prefix string
+		get    func(*Proc) *cache.Cache
+	}{
+		{"l1", func(p *Proc) *cache.Cache { return p.l1 }},
+		{"l2", func(p *Proc) *cache.Cache { return p.l2 }},
+	} {
+		get := lvl.get
+		r.CounterFunc(nd, "cache", lvl.prefix+"_reads", cacheSum(get, func(s *cache.Stats) uint64 { return s.Reads }))
+		r.CounterFunc(nd, "cache", lvl.prefix+"_writes", cacheSum(get, func(s *cache.Stats) uint64 { return s.Writes }))
+		r.CounterFunc(nd, "cache", lvl.prefix+"_read_misses", cacheSum(get, func(s *cache.Stats) uint64 { return s.ReadMisses }))
+		r.CounterFunc(nd, "cache", lvl.prefix+"_write_misses", cacheSum(get, func(s *cache.Stats) uint64 { return s.WriteMisses }))
+		r.CounterFunc(nd, "cache", lvl.prefix+"_upgrades", cacheSum(get, func(s *cache.Stats) uint64 { return s.Upgrades }))
+		r.CounterFunc(nd, "cache", lvl.prefix+"_evictions", cacheSum(get, func(s *cache.Stats) uint64 { return s.Evictions }))
+		r.CounterFunc(nd, "cache", lvl.prefix+"_writebacks", cacheSum(get, func(s *cache.Stats) uint64 { return s.Writebacks }))
+	}
+	r.CounterFunc(nd, "cache", "fill_local_mode", func() uint64 { return n.BusStats.LocalFills })
+	r.CounterFunc(nd, "cache", "fill_scoma_local", func() uint64 { return n.BusStats.SCOMALocal })
+	r.CounterFunc(nd, "cache", "fill_scoma_remote", func() uint64 { return n.BusStats.SCOMARemote })
+	r.CounterFunc(nd, "cache", "fill_lanuma_local", func() uint64 { return n.BusStats.LANUMALocal })
+	r.CounterFunc(nd, "cache", "fill_lanuma_remote", func() uint64 { return n.BusStats.LANUMARemote })
+
+	for _, res := range []struct {
+		name string
+		r    *sim.Resource
+	}{
+		{"addr_bus", &n.addrBus},
+		{"data_bus", &n.dataBus},
+		{"mem", &n.memRes},
+	} {
+		rr := res.r
+		r.CounterFunc(nd, "bus", res.name+"_grants", func() uint64 { return rr.Grants })
+		r.CounterFunc(nd, "bus", res.name+"_busy_cycles", func() uint64 { return uint64(rr.BusyTotal) })
+		r.CounterFunc(nd, "bus", res.name+"_wait_cycles", func() uint64 { return uint64(rr.WaitTotal) })
+	}
+
+	n.Ctrl.RegisterMetrics(r)
+	n.Kern.RegisterMetrics(r)
+}
+
+// ResetStats clears the node's measurement state, following the
+// machine-wide reset contract: processor, cache and bus counters
+// clear, cache contents and occupancy horizons persist. The
+// controller and kernel reset through their own ResetStats.
+func (n *Node) ResetStats() {
+	for _, p := range n.Procs {
+		p.Stats.Reset()
+		p.l1.ResetStats()
+		p.l2.ResetStats()
+	}
+	n.BusStats.Reset()
+	n.addrBus.Reset()
+	n.dataBus.Reset()
+	n.memRes.Reset()
+	n.Ctrl.ResetStats()
+	n.Kern.ResetStats()
+}

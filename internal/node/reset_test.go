@@ -1,0 +1,33 @@
+package node
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+	"prism/internal/sim"
+	"prism/internal/timing"
+)
+
+// TestSyncDomainResetStatsContract asserts the machine-wide reset
+// contract for the sync domain: operation counters clear, structural
+// state (barrier epochs, lock hold state) persists.
+func TestSyncDomainResetStatsContract(t *testing.T) {
+	e := sim.NewEngine()
+	tm := timing.Default()
+	s := NewSyncDomain(e, &tm, mem.DefaultGeometry, 1, mem.NewVAddr(1, 0))
+	s.BarrierOps = 3
+	s.LockOps = 2
+	s.ResetStats()
+	if s.BarrierOps != 0 || s.LockOps != 0 {
+		t.Fatalf("counters survived reset: barriers=%d locks=%d", s.BarrierOps, s.LockOps)
+	}
+}
+
+// TestBusStatsReset covers the per-mode fill counters.
+func TestBusStatsReset(t *testing.T) {
+	b := BusStats{LocalFills: 1, SCOMALocal: 2, SCOMARemote: 3, LANUMALocal: 4, LANUMARemote: 5}
+	b.Reset()
+	if b != (BusStats{}) {
+		t.Fatalf("reset left %+v", b)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prism/internal/mem"
+	"prism/internal/metrics"
 	"prism/internal/sim"
 	"prism/internal/timing"
 )
@@ -39,6 +40,20 @@ type SyncDomain struct {
 // EnableHardwareLocks routes Lock/Unlock through the sync-page
 // protocol backed by the segment at base.
 func (s *SyncDomain) EnableHardwareLocks(base mem.VAddr) { s.hwBase = base }
+
+// ResetStats clears the operation counters, following the
+// machine-wide reset contract: measurement counters clear, structural
+// state (barrier epochs, lock hold state, wait queues) persists.
+func (s *SyncDomain) ResetStats() {
+	s.BarrierOps = 0
+	s.LockOps = 0
+}
+
+// RegisterMetrics registers the machine-scope sync operation counts.
+func (s *SyncDomain) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc(metrics.MachineScope, "sync", "barrier_ops", func() uint64 { return s.BarrierOps })
+	r.CounterFunc(metrics.MachineScope, "sync", "lock_ops", func() uint64 { return s.LockOps })
+}
 
 const (
 	// maxLocks bounds lock ids; barrier lines sit above lock lines in

@@ -196,6 +196,11 @@ func New(node mem.NodeID, geom mem.Geometry, cfg Config) *PIT {
 // AccessTime returns the modeled cost of one PIT lookup.
 func (p *PIT) AccessTime() sim.Time { return p.cfg.AccessTime }
 
+// ResetStats clears the lookup counters, following the machine-wide
+// reset contract: measurement counters clear, structural state
+// persists — entries, tags and the reverse map are untouched.
+func (p *PIT) ResetStats() { p.Stats = Stats{} }
+
 // SetAccessTime changes the modeled lookup cost (the §4.3 PIT study).
 func (p *PIT) SetAccessTime(t sim.Time) { p.cfg.AccessTime = t }
 

@@ -1,0 +1,32 @@
+package pit
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+)
+
+// TestResetStatsContract asserts the machine-wide reset contract for
+// the PIT: measurement counters clear, structural state (entries,
+// tags, the reverse map) persists.
+func TestResetStatsContract(t *testing.T) {
+	p := mkPIT(t)
+	g := mem.GPage{Seg: 1, Page: 7}
+	p.Insert(3, scomaEntry(g, 0))
+	p.Lookup(3)
+	p.ReverseLookup(g, 0, false)
+	if p.Stats.Lookups == 0 || p.Stats.ReverseHash == 0 {
+		t.Fatalf("setup stats %+v", p.Stats)
+	}
+
+	p.ResetStats()
+	if p.Stats != (Stats{}) {
+		t.Fatalf("counters survived reset: %+v", p.Stats)
+	}
+	if e := p.Entry(3); e == nil || e.GPage != g {
+		t.Fatal("entry lost by reset")
+	}
+	if f, ok := p.FrameFor(g); !ok || f != 3 {
+		t.Fatal("reverse map lost by reset")
+	}
+}
