@@ -91,7 +91,6 @@ func BenchmarkTable2Inventory(b *testing.B) {
 // six-policy normalized execution times.
 func BenchmarkFig7(b *testing.B) {
 	for _, app := range workloads.Names() {
-		app := app
 		b.Run(app, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				scoma := runApp(b, app, "SCOMA", nil)
@@ -365,6 +364,48 @@ func BenchmarkAblationSyncPages(b *testing.B) {
 			sw.Cycles, sw.RemoteMisses+sw.Upgrades, hw.Cycles, hw.RemoteMisses+hw.Upgrades))
 	}
 }
+
+// benchMachine runs one full mini-size machine simulation per
+// iteration. ReportAllocs makes these the end-to-end gauge of the
+// allocation-free event core: allocs/op is dominated by machine
+// construction plus whatever the hot paths still allocate per event.
+func benchMachine(b *testing.B, app, pol string) {
+	cfg := workloads.ConfigForSize(workloads.MiniSize)
+	cfg.Policy = prism.MustPolicy(pol)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := prism.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := workloads.ByName(app, workloads.MiniSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Refs), "refs/run")
+	}
+}
+
+// BenchmarkMachineFFT and friends time representative full-machine
+// runs (one complete simulation per iteration) across the policy
+// space: a regular app, an irregular one, and an adaptive policy with
+// paging activity.
+func BenchmarkMachineFFT(b *testing.B) { benchMachine(b, "fft", "SCOMA") }
+
+// BenchmarkMachineLU times the blocked-LU run under LA-NUMA.
+func BenchmarkMachineLU(b *testing.B) { benchMachine(b, "lu", "LANUMA") }
+
+// BenchmarkMachineRadix times radix sort under the adaptive Dyn-LRU
+// policy (exercises the paging and conversion paths).
+func BenchmarkMachineRadix(b *testing.B) { benchMachine(b, "radix", "Dyn-LRU") }
+
+// BenchmarkMachineWaterNsq times the lock-heavy water-nsq run
+// (exercises the synchronization paths).
+func BenchmarkMachineWaterNsq(b *testing.B) { benchMachine(b, "water-nsq", "SCOMA") }
 
 // BenchmarkEngineEvents measures raw event throughput of the
 // simulation core.

@@ -19,7 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"prism/internal/harness"
 	"prism/workloads"
@@ -35,7 +38,41 @@ func main() {
 	seq := flag.Bool("seq", false, "force the sequential sweep path (same as -j 1)")
 	verify := flag.String("verify", "", "compare the sweep's CSV against this reference file and fail on divergence")
 	metricsDir := flag.String("metrics", "", "write each sweep cell's telemetry export to this directory (<app>_<policy>.json; analyze with prismstat)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+	bench := flag.String("bench", "", "run in-process microbenchmarks: comma list or 'all' ("+strings.Join(benchNames(), ",")+")")
+	benchJSON := flag.String("benchjson", "", "write -bench results (plus sweep wall time, if a sweep ran) as JSON")
+	benchCheck := flag.String("benchcheck", "", "fail if -bench allocs/op regress above this committed baseline JSON")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote heap profile %s\n", *memprofile)
+		}()
+	}
 
 	size, err := parseSize(*sizeFlag)
 	if err != nil {
@@ -77,10 +114,16 @@ func main() {
 		fmt.Println(harness.FormatTable2())
 	}
 
+	var sweep *SweepTiming
 	if want["fig7"] || want["table3"] || want["table4"] || want["table5"] {
+		start := time.Now()
 		runs, err := harness.Run(opts)
 		if err != nil {
 			fatal(err)
+		}
+		sweep = &SweepTiming{
+			Exp: *exp, Size: *sizeFlag, Jobs: opts.Workers,
+			WallMS: time.Since(start).Milliseconds(),
 		}
 		if *csvPath != "" {
 			f, err := os.Create(*csvPath)
@@ -120,6 +163,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(harness.FormatPITSweep(rows))
+	}
+
+	if sweep != nil {
+		fmt.Fprintf(os.Stderr, "sweep wall time: %d ms (jobs=%d)\n", sweep.WallMS, sweep.Jobs)
+	}
+
+	if *bench != "" {
+		results, err := runBenchSuite(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(formatBench(results))
+		if *benchJSON != "" {
+			rep := BenchReport{Benchmarks: results, Sweep: sweep}
+			if err := writeBenchJSON(*benchJSON, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+		}
+		if *benchCheck != "" {
+			if err := checkBenchBaseline(*benchCheck, results); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *benchJSON != "" || *benchCheck != "" {
+		fatal(fmt.Errorf("-benchjson/-benchcheck need -bench"))
 	}
 }
 

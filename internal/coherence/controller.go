@@ -29,6 +29,19 @@ type Local interface {
 	InvalidateFrameLines(f mem.FrameID) []int
 }
 
+// Filler is the client-side continuation of one ClientFetch: a
+// long-lived object (node embeds one per processor) so that issuing
+// and completing a fetch allocates nothing. Exactly one of Fill or
+// Retry eventually runs, in engine context.
+type Filler interface {
+	// Fill runs when the line is usable by the requesting processor.
+	// fault reports a firewall rejection at the home.
+	Fill(at sim.Time, excl, fault bool)
+	// Retry runs after a conflicting transaction for the same line
+	// completed; the requester must re-dispatch its access.
+	Retry(at sim.Time)
+}
+
 // HomeRouter resolves page homes. Implemented by the core machine's
 // global page registry (backed by the IPC server and the migration
 // manager).
@@ -109,8 +122,45 @@ type clientTxn struct {
 	frame   mem.FrameID
 	excl    bool
 	start   sim.Time // issue time, for the remote-miss latency histogram
-	fill    func(at sim.Time, excl, fault bool)
-	waiters []func(at sim.Time)
+	fill    Filler
+	waiters []Filler
+}
+
+// clientEvent is a pooled completion event: it invokes one Filler's
+// Fill or Retry at its scheduled time and returns itself to the
+// controller's free list. Pooling is safe because a controller is
+// engine-confined (single goroutine).
+type clientEvent struct {
+	c           *Controller
+	fl          Filler
+	excl, fault bool
+	retry       bool
+}
+
+// OnEvent implements sim.EventHandler.
+func (ev *clientEvent) OnEvent(now sim.Time) {
+	c, fl := ev.c, ev.fl
+	excl, fault, retry := ev.excl, ev.fault, ev.retry
+	ev.fl = nil
+	c.freeClient = append(c.freeClient, ev)
+	if retry {
+		fl.Retry(now)
+	} else {
+		fl.Fill(now, excl, fault)
+	}
+}
+
+// clientEv pops (or allocates) a pooled completion event.
+func (c *Controller) clientEv(fl Filler, excl, fault, retry bool) *clientEvent {
+	var ev *clientEvent
+	if n := len(c.freeClient); n > 0 {
+		ev = c.freeClient[n-1]
+		c.freeClient = c.freeClient[:n-1]
+	} else {
+		ev = &clientEvent{c: c}
+	}
+	ev.fl, ev.excl, ev.fault, ev.retry = fl, excl, fault, retry
+	return ev
 }
 
 // homeTxn is an in-flight multi-party transaction at the home side.
@@ -140,6 +190,7 @@ type Controller struct {
 	ctrl sim.Resource // controller occupancy
 
 	client     map[lineKey]*clientTxn
+	freeClient []*clientEvent // pooled fill/retry completion events
 	home       map[lineKey]*homeTxn
 	homeQ      map[lineKey][]func()
 	flushWait  map[uint64]func(at sim.Time)
@@ -234,17 +285,15 @@ func (c *Controller) send(at sim.Time, dst mem.NodeID, size int, msg network.Mes
 
 // ClientFetch issues a remote request for line ln of local frame f
 // (mode S-COMA or LA-NUMA) at model time at. ent is f's PIT entry,
-// already looked up by the bus dispatch path. fill runs in engine
+// already looked up by the bus dispatch path. fr.Fill runs in engine
 // context when the line is usable by the requesting processor. If a
 // transaction for the same line is already outstanding (fine-grain tag
-// Transit), retry is queued and re-run after completion instead;
-// exactly one of fill or retry is eventually invoked.
-func (c *Controller) ClientFetch(at sim.Time, f mem.FrameID, ln int, write bool, ent *pit.Entry,
-	fill func(at sim.Time, excl, fault bool), retry func(at sim.Time)) {
-
+// Transit), fr is queued and fr.Retry runs after completion instead;
+// exactly one of Fill or Retry is eventually invoked.
+func (c *Controller) ClientFetch(at sim.Time, f mem.FrameID, ln int, write bool, ent *pit.Entry, fr Filler) {
 	key := lineKey{ent.GPage, ln}
 	if txn, ok := c.client[key]; ok {
-		txn.waiters = append(txn.waiters, retry)
+		txn.waiters = append(txn.waiters, fr)
 		return
 	}
 
@@ -254,7 +303,7 @@ func (c *Controller) ClientFetch(at sim.Time, f mem.FrameID, ln int, write bool,
 		c.PIT.SetTag(f, ln, pit.TagTransit)
 	}
 
-	c.client[key] = &clientTxn{frame: f, excl: write, start: at, fill: fill}
+	c.client[key] = &clientTxn{frame: f, excl: write, start: at, fill: fr}
 
 	t := c.ctrlBusy(at, c.tm.CtrlOut)
 	c.send(t, ent.DynHome, c.tm.MsgHeader, &GetMsg{
@@ -324,11 +373,11 @@ func (c *Controller) handleData(src mem.NodeID, m *DataMsg) {
 	// Acknowledge consumption so the home unlocks the line.
 	c.send(t, m.DynHome, c.tm.MsgHeader, &GrantAckMsg{Page: m.Page, Line: m.Line})
 
-	fill, waiters := txn.fill, txn.waiters
-	c.e.At(t, func() { fill(t, m.Excl, m.Fault) })
-	for i, w := range waiters {
-		w := w
-		c.e.At(t+sim.Time(i+1)*2, func() { w(c.e.Now()) })
+	c.e.AtEvent(t, c.clientEv(txn.fill, m.Excl, m.Fault, false))
+	for i, w := range txn.waiters {
+		// Conflicting requesters re-dispatch with a small stagger so the
+		// retries serialize deterministically.
+		c.e.AtEvent(t+sim.Time(i+1)*2, c.clientEv(w, false, false, true))
 	}
 }
 
@@ -407,7 +456,7 @@ func (c *Controller) handleFlushAck(m *FlushAckMsg) {
 	delete(c.flushWait, m.Token)
 	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
 	if done != nil {
-		c.e.At(t, func() { done(t) })
+		c.e.CallAt(t, done)
 	}
 }
 

@@ -62,7 +62,6 @@ func (c *Controller) ReleasePage(g mem.GPage) {
 	q := c.held[g]
 	delete(c.held, g)
 	for _, fn := range q {
-		fn := fn
 		c.e.Schedule(0, fn)
 	}
 }

@@ -164,6 +164,5 @@ func (c *Controller) handleLockGrant(src mem.NodeID, m *LockGrantMsg) {
 		c.lockWait[key] = q[1:]
 	}
 	c.histLockAcquire.Observe(t - w.start)
-	done := w.done
-	c.e.At(t, func() { done(t) })
+	c.e.CallAt(t, w.done)
 }

@@ -51,7 +51,6 @@ func mustDetRun(t *testing.T, pol policy.Policy, seed int64) string {
 func TestDeterminismGolden(t *testing.T) {
 	pols := []policy.Policy{policy.SCOMA{}, policy.DynLRU{}, policy.DynUtil{}}
 	for _, pol := range pols {
-		pol := pol
 		t.Run(pol.Name(), func(t *testing.T) {
 			want := mustDetRun(t, pol, 42)
 			if got := mustDetRun(t, pol, 42); got != want {
@@ -63,7 +62,6 @@ func TestDeterminismGolden(t *testing.T) {
 			errs := make([]error, workers)
 			var wg sync.WaitGroup
 			for i := 0; i < workers; i++ {
-				i := i
 				wg.Add(1)
 				go func() {
 					defer wg.Done()

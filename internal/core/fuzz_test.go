@@ -116,7 +116,6 @@ func TestProtocolFuzzConfigMatrix(t *testing.T) {
 		{"tiny-dir-cache", func(c *Config) { c.Node.DirConfig.CacheEntries = 64 }},
 	}
 	for _, k := range knobs {
-		k := k
 		t.Run(k.name, func(t *testing.T) {
 			cfg := testConfig()
 			cfg.Node.L1.Size = 1 << 10

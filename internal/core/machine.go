@@ -328,8 +328,7 @@ func (m *Machine) Run(w Workload) (Results, error) {
 	for i, p := range m.Procs {
 		ctx := &Ctx{P: p, ID: i, N: len(m.Procs), m: m}
 		p.Coro().Start(func() { w.Run(ctx) })
-		c := p.Coro()
-		m.E.Schedule(0, func() { c.Step() })
+		m.E.ScheduleStep(0, p.Coro())
 	}
 	m.E.RunUntilIdle()
 

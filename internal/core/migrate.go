@@ -79,13 +79,12 @@ func (m *Machine) SetPageCaps(va mem.VAddr, allowed []mem.NodeID) error {
 	return nil
 }
 
-// stepAt resumes the context's processor at time at.
+// stepAt resumes the context's processor at time at. The processor is
+// its own wake-up event (node.Proc implements sim.EventHandler), so
+// the deferred branch allocates nothing.
 func (c *Ctx) stepAt(at sim.Time) {
 	if at > c.m.E.Now() {
-		c.m.E.At(at, func() {
-			c.P.AdvanceTo(at)
-			c.P.Coro().Step()
-		})
+		c.m.E.AtEvent(at, c.P)
 		return
 	}
 	c.P.AdvanceTo(at)

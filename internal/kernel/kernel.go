@@ -581,7 +581,7 @@ func (k *Kernel) clientFault(vp mem.VPage, g mem.GPage, finish faultCont) {
 			// Home-page-status flag set: the page is known in-core at
 			// the home; skip the round trip (§3.3 optimization).
 			k.Stats.FlagHits++
-			k.e.At(at+k.tm.PFKernelClient, func() { bind(k.e.Now()) })
+			k.e.CallAt(at+k.tm.PFKernelClient, bind)
 			return
 		}
 		k.Stats.PageInMsgs++
@@ -599,7 +599,7 @@ func (k *Kernel) clientFault(vp mem.VPage, g mem.GPage, finish faultCont) {
 	}
 
 	if dec.HasVictim {
-		k.pageOutClient(dec.Victim, dec.ConvertVictim, func(at sim.Time) { pageIn(at) })
+		k.pageOutClient(dec.Victim, dec.ConvertVictim, pageIn)
 	} else {
 		pageIn(k.e.Now())
 	}
@@ -931,7 +931,7 @@ func (k *Kernel) EvictHomePage(g mem.GPage, done func(at sim.Time)) error {
 	}
 
 	if len(clients) == 0 {
-		k.e.Schedule(k.tm.PageOutKernel, func() { finish(k.e.Now()) })
+		k.e.ScheduleCall(k.tm.PageOutKernel, finish)
 		return nil
 	}
 	k.unmapWait[g] = &unmapTxn{needAcks: len(clients), done: finish}

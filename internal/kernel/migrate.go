@@ -57,7 +57,7 @@ func (k *Kernel) MigratePage(g mem.GPage, to mem.NodeID, done func(at sim.Time))
 	}
 	cur := k.reg.DynamicHome(g)
 	if cur == to {
-		k.e.Schedule(0, func() { done(k.e.Now()) })
+		k.e.ScheduleCall(0, done)
 		return nil
 	}
 	if cur == k.node {

@@ -28,17 +28,20 @@ func AttachSampler(e *sim.Engine, r *Registry, every sim.Time, active func() boo
 		panic("metrics: sampler interval must be positive")
 	}
 	s := &Sampler{e: e, r: r, every: every, active: active}
-	e.Schedule(every, s.tick)
+	e.ScheduleEvent(every, s)
 	return s
 }
 
-func (s *Sampler) tick() {
+// OnEvent implements sim.EventHandler: one tick. Scheduling the
+// sampler itself (rather than a method-value closure) keeps the
+// periodic reschedule allocation-free.
+func (s *Sampler) OnEvent(now sim.Time) {
 	if s.active != nil && !s.active() {
 		return
 	}
 	s.Samples = append(s.Samples, Sample{
-		At:     uint64(s.e.Now()),
+		At:     uint64(now),
 		Points: s.r.SnapshotScalars(),
 	})
-	s.e.Schedule(s.every, s.tick)
+	s.e.ScheduleEvent(s.every, s)
 }

@@ -43,6 +43,10 @@ type Daemon struct {
 	interval sim.Time
 	stopped  bool
 
+	// scanIfActiveFn is bound once in Attach so the per-interval
+	// reschedule doesn't allocate a method-value closure every tick.
+	scanIfActiveFn func()
+
 	Stats Stats
 }
 
@@ -52,6 +56,7 @@ type Daemon struct {
 // reports through the machine's telemetry registry.
 func Attach(m *core.Machine, interval sim.Time, pol Policy) *Daemon {
 	d := &Daemon{m: m, pol: pol, interval: interval}
+	d.scanIfActiveFn = d.scanIfActive
 	m.E.Schedule(interval, d.scan)
 	m.Metrics.CounterFunc(metrics.MachineScope, "migrate", "scans", func() uint64 { return d.Stats.Scans })
 	m.Metrics.CounterFunc(metrics.MachineScope, "migrate", "considered", func() uint64 { return d.Stats.Considered })
@@ -101,7 +106,7 @@ func (d *Daemon) scan() {
 	}
 	// Keep scanning only while processors are live, so the event
 	// queue can drain when the run finishes.
-	d.m.E.Schedule(d.interval, d.scanIfActive)
+	d.m.E.Schedule(d.interval, d.scanIfActiveFn)
 }
 
 // scanIfActive re-runs scan while processors are live.

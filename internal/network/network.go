@@ -51,7 +51,41 @@ type Network struct {
 	sendNI   []sim.Resource
 	recvNI   []sim.Resource
 
+	// free is a free list of inflight events. Message delivery is the
+	// hottest event shape after coroutine steps, so in-flight messages
+	// ride pooled two-stage event objects instead of allocating two
+	// closures each; the pool grows to the peak in-flight count and
+	// then the steady state allocates nothing. Single-goroutine like
+	// everything else hanging off one engine.
+	free []*inflight
+
 	Stats Stats
+}
+
+// inflight is one in-flight message: an arrival event at the receive
+// NI followed by a handler invocation once the NI grants it.
+type inflight struct {
+	n        *Network
+	src, dst mem.NodeID
+	msg      Message
+	occ      sim.Time
+	arrived  bool
+}
+
+// OnEvent implements sim.EventHandler: first firing models receive-NI
+// occupancy and reschedules; second firing delivers and returns the
+// object to the pool.
+func (d *inflight) OnEvent(now sim.Time) {
+	if !d.arrived {
+		d.arrived = true
+		ready := d.n.recvNI[d.dst].Acquire(now, d.occ) + d.occ
+		d.n.e.AtEvent(ready, d)
+		return
+	}
+	n, src, dst, msg := d.n, d.src, d.dst, d.msg
+	d.msg = nil // release the payload before pooling
+	n.free = append(n.free, d)
+	n.handlers[dst].Deliver(src, msg)
 }
 
 // New builds a network for nodes nodes.
@@ -108,11 +142,18 @@ func (n *Network) Send(at sim.Time, src, dst mem.NodeID, size int, msg Message) 
 	}
 	injected := n.sendNI[src].Acquire(at, occ) + occ
 	arrive := injected + n.cfg.Latency
-	// Receive-side NI occupancy delays the handler invocation.
-	n.e.At(arrive, func() {
-		ready := n.recvNI[dst].Acquire(n.e.Now(), occ) + occ
-		n.e.At(ready, func() { n.handlers[dst].Deliver(src, msg) })
-	})
+	// Receive-side NI occupancy delays the handler invocation; the
+	// pooled inflight object carries both delivery stages without
+	// allocating.
+	var d *inflight
+	if len(n.free) > 0 {
+		d = n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+	} else {
+		d = &inflight{n: n}
+	}
+	d.src, d.dst, d.msg, d.occ, d.arrived = src, dst, msg, occ, false
+	n.e.AtEvent(arrive, d)
 }
 
 // ResetStats clears counters (NI occupancy horizons are kept),

@@ -81,6 +81,10 @@ type Node struct {
 	dataBus sim.Resource
 	memRes  sim.Resource
 
+	// freeRetrieve pools Retrieve completion events (engine-confined,
+	// like every structure hanging off one engine).
+	freeRetrieve []*retrieveEvent
+
 	BusStats BusStats
 }
 
@@ -111,6 +115,7 @@ func New(e *sim.Engine, id mem.NodeID, geom mem.Geometry, tm *timing.T, cfg Conf
 			tlb:     newTLB(cfg.TLBEntries),
 			quantum: cfg.Quantum,
 		}
+		pr.bind()
 		n.Procs = append(n.Procs, pr)
 	}
 	return n
@@ -129,11 +134,18 @@ func (n *Node) Deliver(src mem.NodeID, msg network.Message) {
 }
 
 // busTransaction arbitrates, snoops and dispatches one L2 miss or
-// upgrade. It runs in engine context at the requester's local time and
-// calls resume(t, retranslate) when the access completes; retranslate
-// is true when the frame vanished mid-flight (a page migration
-// replaced it) and the processor must redo its translation.
-func (n *Node) busTransaction(p *Proc, la mem.PAddr, write bool, resume func(at sim.Time, retranslate bool)) {
+// upgrade for the requester's pending access (p.busLA/p.busWrite). It
+// runs in engine context at the requester's local time and resumes the
+// blocked processor when the access completes; the retranslate verdict
+// (p.busRetr) is true when the frame vanished mid-flight (a page
+// migration replaced it) and the processor must redo its translation.
+//
+// The whole path — dispatch, completion, remote fill, conflict retry —
+// runs on per-processor event objects embedded in Proc: busAccess
+// blocks the processor, so at most one transaction per processor is
+// outstanding and none of these steps allocates.
+func (n *Node) busTransaction(p *Proc) {
+	la, write := p.busLA, p.busWrite
 	t := n.e.Now()
 	grant := n.addrBus.Acquire(t, n.tm.BusArb+n.tm.BusAddr)
 	t = grant + n.tm.BusArb + n.tm.BusAddr
@@ -146,7 +158,7 @@ func (n *Node) busTransaction(p *Proc, la mem.PAddr, write bool, resume func(at 
 		// The frame was unbound between the processor's translation
 		// and this transaction (page-out or migration): retry through
 		// the TLB.
-		n.e.At(t, func() { resume(t, true) })
+		n.resumeBus(p, t, true)
 		return
 	}
 
@@ -220,38 +232,21 @@ func (n *Node) busTransaction(p *Proc, la mem.PAddr, write bool, resume func(at 
 		case ent.Mode == pit.ModeSCOMA && ent.Tags[ln] == pit.TagExclusive:
 			st = cache.Exclusive
 		}
-		n.finishFill(p, la, st, t, resume)
+		n.finishFill(p, la, st, t)
 		return
 	}
 
-	// Remote: hand to the controller's client side.
-	gp := ent.GPage
-	fill := func(at sim.Time, excl, fault bool) {
-		if fault {
-			p.Stats.AccessFaults++
-			resume(at, false)
-			return
-		}
-		if cur := n.Ctrl.PIT.Entry(f); cur == nil || !cur.Valid() || cur.GPage != gp {
-			// The frame was repurposed while the fetch was in flight
-			// (migration replaced the mapping): don't insert stale
-			// state; let the processor retranslate.
-			resume(at, true)
-			return
-		}
-		st := cache.Shared
-		if write {
-			st = cache.Modified
-		} else if excl {
-			st = cache.Exclusive
-		}
-		done := n.dataBus.Acquire(at, n.tm.BusData) + n.tm.BusData
-		n.finishFill(p, la, st, done, resume)
-	}
-	retry := func(at sim.Time) {
-		n.e.At(at, func() { n.busTransaction(p, la, write, resume) })
-	}
-	n.Ctrl.ClientFetch(t, f, ln, write, ent, fill, retry)
+	// Remote: hand to the controller's client side via the processor's
+	// embedded Filler.
+	p.fetch.gp = ent.GPage
+	n.Ctrl.ClientFetch(t, f, ln, write, ent, &p.fetch)
+}
+
+// resumeBus schedules the blocked requester's resumption at t with the
+// given retranslate verdict, on the processor's embedded event.
+func (n *Node) resumeBus(p *Proc, t sim.Time, retranslate bool) {
+	p.busRetr = retranslate
+	n.e.AtEvent(t, &p.resumeEv)
 }
 
 // snoop probes every other processor's caches for la, applying
@@ -296,7 +291,7 @@ func (n *Node) snoop(requester *Proc, la mem.PAddr, write bool) (cache.State, bo
 
 // finishFill inserts the line into the requester's caches (handling
 // victims and their writebacks) and resumes it at time t.
-func (n *Node) finishFill(p *Proc, la mem.PAddr, st cache.State, t sim.Time, resume func(at sim.Time, retranslate bool)) {
+func (n *Node) finishFill(p *Proc, la mem.PAddr, st cache.State, t sim.Time) {
 	v2 := p.l2.Insert(la, st)
 	if v2.Valid {
 		l1st := p.l1.Invalidate(v2.Addr)
@@ -317,7 +312,7 @@ func (n *Node) finishFill(p *Proc, la mem.PAddr, st cache.State, t sim.Time, res
 		// Dirty L1 victim folds into L2 under inclusion.
 		p.l2.SetState(v1.Addr, cache.Modified)
 	}
-	n.e.At(t, func() { resume(t, false) })
+	n.resumeBus(p, t, false)
 }
 
 // Retrieve implements coherence.Local: a controller-initiated bus
@@ -358,7 +353,32 @@ func (n *Node) Retrieve(pa mem.PAddr, inval bool, done func(at sim.Time, dirty b
 	if dirty {
 		t = n.dataBus.Acquire(t, n.tm.BusData) + n.tm.BusData
 	}
-	n.e.At(t, func() { done(t, dirty) })
+	var ev *retrieveEvent
+	if k := len(n.freeRetrieve); k > 0 {
+		ev = n.freeRetrieve[k-1]
+		n.freeRetrieve = n.freeRetrieve[:k-1]
+	} else {
+		ev = &retrieveEvent{n: n}
+	}
+	ev.done, ev.dirty = done, dirty
+	n.e.AtEvent(t, ev)
+}
+
+// retrieveEvent is a pooled completion event for Retrieve: the wrapper
+// that defers the caller's done continuation to the bus-settled time
+// without allocating a closure per retrieval.
+type retrieveEvent struct {
+	n     *Node
+	done  func(at sim.Time, dirty bool)
+	dirty bool
+}
+
+// OnEvent implements sim.EventHandler.
+func (ev *retrieveEvent) OnEvent(now sim.Time) {
+	n, done, dirty := ev.n, ev.done, ev.dirty
+	ev.done = nil // release the continuation before pooling
+	n.freeRetrieve = append(n.freeRetrieve, ev)
+	done(now, dirty)
 }
 
 // InvalidateFrameLines implements coherence.Local: bulk-invalidate

@@ -53,7 +53,159 @@ type Proc struct {
 	// Sync is the machine-wide synchronization domain (set by core).
 	Sync *SyncDomain
 
+	// Pending-access state plus embedded event objects and one-time
+	// bound callbacks: the blocking paths (busAccess, fault, HWLock)
+	// have at most one transaction outstanding per processor, so their
+	// events live inline in the Proc and scheduling allocates nothing.
+	// See busTransaction.
+	busLA      mem.PAddr
+	busWrite   bool
+	busRetr    bool
+	busEv      busEvent
+	resumeEv   busResumeEvent
+	fetch      procFetch
+	faultEv    faultEvent
+	faultOK    bool
+	faultDone  func(at sim.Time, f mem.FrameID, ok bool)
+	lockEv     hwLockEvent
+	lockDone   func(at sim.Time)
+	freeUnlock []*hwUnlockEvent // pooled posted-unlock events
+
 	Stats ProcStats
+}
+
+// bind wires the embedded event objects and bound callbacks to the
+// processor (called once from node.New).
+func (p *Proc) bind() {
+	p.busEv.p = p
+	p.resumeEv.p = p
+	p.fetch.p = p
+	p.faultEv.p = p
+	p.lockEv.p = p
+	p.faultDone = func(at sim.Time, _ mem.FrameID, ok bool) {
+		p.now = at
+		p.faultOK = ok
+		p.coro.Step()
+	}
+	p.lockDone = func(at sim.Time) {
+		p.now = at
+		p.coro.Step()
+	}
+}
+
+// OnEvent implements sim.EventHandler: advance the processor's local
+// clock to the event time and step its coroutine. Engine-side code
+// (core's page-migration contexts) uses it to resume a parked
+// processor without allocating a wake-up closure.
+func (p *Proc) OnEvent(now sim.Time) {
+	p.AdvanceTo(now)
+	p.coro.Step()
+}
+
+// busEvent dispatches the processor's pending bus transaction in
+// engine context.
+type busEvent struct{ p *Proc }
+
+// OnEvent implements sim.EventHandler.
+func (ev *busEvent) OnEvent(now sim.Time) { ev.p.n.busTransaction(ev.p) }
+
+// busResumeEvent completes a bus transaction: the retranslate verdict
+// was recorded in p.busRetr when the event was scheduled.
+type busResumeEvent struct{ p *Proc }
+
+// OnEvent implements sim.EventHandler.
+func (ev *busResumeEvent) OnEvent(now sim.Time) {
+	p := ev.p
+	p.now = now
+	p.coro.Step()
+}
+
+// procFetch is the processor's coherence.Filler: the continuation of a
+// remote ClientFetch for the pending access (p.busLA/p.busWrite).
+type procFetch struct {
+	p  *Proc
+	gp mem.GPage // page identity at dispatch, to detect repurposed frames
+}
+
+// Fill completes the remote fetch: validate the frame, insert the
+// line, resume the processor.
+func (fh *procFetch) Fill(at sim.Time, excl, fault bool) {
+	p := fh.p
+	n := p.n
+	la, write := p.busLA, p.busWrite
+	if fault {
+		p.Stats.AccessFaults++
+		p.now = at
+		p.busRetr = false
+		p.coro.Step()
+		return
+	}
+	f := la.Frame(n.geom)
+	if cur := n.Ctrl.PIT.Entry(f); cur == nil || !cur.Valid() || cur.GPage != fh.gp {
+		// The frame was repurposed while the fetch was in flight
+		// (migration replaced the mapping): don't insert stale state;
+		// let the processor retranslate.
+		p.now = at
+		p.busRetr = true
+		p.coro.Step()
+		return
+	}
+	st := cache.Shared
+	if write {
+		st = cache.Modified
+	} else if excl {
+		st = cache.Exclusive
+	}
+	done := n.dataBus.Acquire(at, n.tm.BusData) + n.tm.BusData
+	n.finishFill(p, la, st, done)
+}
+
+// Retry re-dispatches the pending access after a conflicting
+// transaction for the same line completed.
+func (fh *procFetch) Retry(at sim.Time) {
+	fh.p.n.e.AtEvent(at, &fh.p.busEv)
+}
+
+// faultEvent enters the kernel's fault handler in engine context.
+type faultEvent struct {
+	p  *Proc
+	vp mem.VPage
+}
+
+// OnEvent implements sim.EventHandler.
+func (ev *faultEvent) OnEvent(now sim.Time) {
+	ev.p.n.Kern.HandleFault(ev.vp, ev.p.faultDone)
+}
+
+// hwLockEvent issues a hardware lock acquire in engine context.
+type hwLockEvent struct {
+	p  *Proc
+	f  mem.FrameID
+	ln int
+}
+
+// OnEvent implements sim.EventHandler.
+func (ev *hwLockEvent) OnEvent(now sim.Time) {
+	p := ev.p
+	ent, cost := p.n.Ctrl.PIT.Lookup(ev.f)
+	p.n.Ctrl.LockAcquire(now+cost, ev.f, ev.ln, ent, p.lockDone)
+}
+
+// hwUnlockEvent issues a posted hardware lock release. Releases don't
+// block the processor, so several can be in flight; they ride a small
+// per-processor pool.
+type hwUnlockEvent struct {
+	p  *Proc
+	f  mem.FrameID
+	ln int
+}
+
+// OnEvent implements sim.EventHandler.
+func (ev *hwUnlockEvent) OnEvent(now sim.Time) {
+	p := ev.p
+	ent, cost := p.n.Ctrl.PIT.Lookup(ev.f)
+	p.n.Ctrl.LockRelease(now+cost, ev.f, ev.ln, ent)
+	p.freeUnlock = append(p.freeUnlock, ev)
 }
 
 // SetTracer installs (or clears, with nil) a reference tracer.
@@ -246,17 +398,11 @@ func (p *Proc) accessOnce(va mem.VAddr, write bool) (retranslate bool) {
 // vanished under a page migration or page-out).
 func (p *Proc) busAccess(la mem.PAddr, write bool) (retranslate bool) {
 	start := p.now
-	var retr bool
-	p.n.e.At(p.now, func() {
-		p.n.busTransaction(p, la, write, func(at sim.Time, r bool) {
-			p.now = at
-			retr = r
-			p.coro.Step()
-		})
-	})
+	p.busLA, p.busWrite = la, write
+	p.n.e.AtEvent(p.now, &p.busEv)
 	p.coro.Block()
 	p.Stats.StallCycles += p.now - start
-	return retr
+	return p.busRetr
 }
 
 // translate resolves va to a frame, taking TLB misses and page faults
@@ -293,13 +439,8 @@ func (p *Proc) HWLock(va mem.VAddr) {
 	f := p.translate(va)
 	ln := mem.NewPAddr(g, f, va.PageOffset(g)).Line(g)
 	start := p.now
-	p.n.e.At(p.now, func() {
-		ent, cost := p.n.Ctrl.PIT.Lookup(f)
-		p.n.Ctrl.LockAcquire(p.n.e.Now()+cost, f, ln, ent, func(at sim.Time) {
-			p.now = at
-			p.coro.Step()
-		})
-	})
+	p.lockEv.f, p.lockEv.ln = f, ln
+	p.n.e.AtEvent(p.now, &p.lockEv)
 	p.coro.Block()
 	p.Stats.StallCycles += p.now - start
 }
@@ -311,28 +452,26 @@ func (p *Proc) HWUnlock(va mem.VAddr) {
 	p.now += p.n.tm.L1Hit
 	f := p.translate(va)
 	ln := mem.NewPAddr(g, f, va.PageOffset(g)).Line(g)
-	at := p.now
-	p.n.e.At(at, func() {
-		ent, cost := p.n.Ctrl.PIT.Lookup(f)
-		p.n.Ctrl.LockRelease(p.n.e.Now()+cost, f, ln, ent)
-	})
+	var ev *hwUnlockEvent
+	if k := len(p.freeUnlock); k > 0 {
+		ev = p.freeUnlock[k-1]
+		p.freeUnlock = p.freeUnlock[:k-1]
+	} else {
+		ev = &hwUnlockEvent{p: p}
+	}
+	ev.f, ev.ln = f, ln
+	p.n.e.AtEvent(p.now, ev)
 	p.maybeYield()
 }
 
 // fault blocks the processor on a page fault.
 func (p *Proc) fault(vp mem.VPage) {
 	start := p.now
-	var okf bool
-	p.n.e.At(p.now, func() {
-		p.n.Kern.HandleFault(vp, func(at sim.Time, _ mem.FrameID, ok bool) {
-			p.now = at
-			okf = ok
-			p.coro.Step()
-		})
-	})
+	p.faultEv.vp = vp
+	p.n.e.AtEvent(p.now, &p.faultEv)
 	p.coro.Block()
 	p.Stats.StallCycles += p.now - start
-	if !okf {
+	if !p.faultOK {
 		panic(fmt.Sprintf("proc %d: unresolvable page fault on %v", p.ID, vp))
 	}
 }

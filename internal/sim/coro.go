@@ -10,10 +10,20 @@ package sim
 // This is the execution-driven simulation structure of Augmint: the
 // functional program runs natively, yielding to the timing model at
 // every point where simulated time must pass.
+//
+// The handoff uses a single unbuffered rendezvous channel in strict
+// ping-pong (it used to be a resume channel plus a yield channel —
+// twice the channels and twice the runtime channel structures touched
+// per block/step round trip). Strict alternation makes one channel
+// sufficient: the engine's send can only pair with the coroutine's
+// receive and vice versa, so ownership of the channel *is* ownership
+// of the right to run.
 type Coro struct {
-	resume chan struct{}
-	yield  chan struct{}
-	done   bool
+	// rendezvous carries both directions of the handoff: Step sends to
+	// resume the coroutine then receives its yield; Block sends the
+	// yield then receives the next resume.
+	rendezvous chan struct{}
+	done       bool
 
 	// Label is a diagnostic name ("node2.cpu1").
 	Label string
@@ -22,9 +32,8 @@ type Coro struct {
 // NewCoro allocates an un-started coroutine context.
 func NewCoro(label string) *Coro {
 	return &Coro{
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-		Label:  label,
+		rendezvous: make(chan struct{}),
+		Label:      label,
 	}
 }
 
@@ -33,10 +42,10 @@ func NewCoro(label string) *Coro {
 // marked done and control passes back to the engine.
 func (c *Coro) Start(body func()) {
 	go func() {
-		<-c.resume
+		<-c.rendezvous
 		body()
 		c.done = true
-		c.yield <- struct{}{}
+		c.rendezvous <- struct{}{}
 	}()
 }
 
@@ -48,8 +57,8 @@ func (c *Coro) Step() bool {
 	if c.done {
 		panic("sim: Step on finished coroutine " + c.Label)
 	}
-	c.resume <- struct{}{}
-	<-c.yield
+	c.rendezvous <- struct{}{} // resume the coroutine...
+	<-c.rendezvous             // ...and wait for it to yield
 	return !c.done
 }
 
@@ -59,17 +68,18 @@ func (c *Coro) Step() bool {
 // calls it); otherwise the simulation deadlocks, which the engine
 // reports as a drained event queue with live coroutines.
 func (c *Coro) Block() {
-	c.yield <- struct{}{}
-	<-c.resume
+	c.rendezvous <- struct{}{} // yield to the engine...
+	<-c.rendezvous             // ...and wait to be resumed
 }
 
 // Done reports whether the coroutine's body has returned.
 func (c *Coro) Done() bool { return c.done }
 
 // WaitUntil blocks the coroutine until simulated time t. It schedules
-// its own wake-up event. Must be called from the coroutine goroutine.
+// its own wake-up event (closure-free: the event holds the coroutine
+// itself). Must be called from the coroutine goroutine.
 func (c *Coro) WaitUntil(e *Engine, t Time) {
-	e.At(t, func() { c.Step() })
+	e.StepAt(t, c)
 	c.Block()
 }
 
@@ -97,7 +107,7 @@ func (q *Queue) WakeOne(e *Engine, delay Time) bool {
 	}
 	c := q.waiters[0]
 	q.waiters = q.waiters[1:]
-	e.Schedule(delay, func() { c.Step() })
+	e.ScheduleStep(delay, c)
 	return true
 }
 
@@ -106,8 +116,7 @@ func (q *Queue) WakeOne(e *Engine, delay Time) bool {
 func (q *Queue) WakeAll(e *Engine, delay, stagger Time) int {
 	n := len(q.waiters)
 	for i, c := range q.waiters {
-		c := c
-		e.Schedule(delay+Time(i)*stagger, func() { c.Step() })
+		e.ScheduleStep(delay+Time(i)*stagger, c)
 	}
 	q.waiters = nil
 	return n

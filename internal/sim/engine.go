@@ -19,10 +19,18 @@
 // is exactly how the parallel experiment harness executes one Machine
 // per worker. Run detects concurrent entry from a second goroutine and
 // panics rather than corrupting the event queue.
+//
+// Host-time performance: the queue is a hand-specialized 4-ary min-heap
+// over a plain []event — no container/heap, no interface{} boxing, no
+// per-operation allocation. Besides the classic closure event (At/
+// Schedule), the engine offers three allocation-free scheduling paths
+// for the dispatch shapes that dominate PRISM runs: step-a-coroutine
+// (StepAt/ScheduleStep), a pre-existing EventHandler object (AtEvent/
+// ScheduleEvent) and a timed callback func(Time) (CallAt/ScheduleCall).
+// See DESIGN.md "Engine internals".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 )
@@ -33,29 +41,34 @@ type Time uint64
 // Forever is a time later than any event the simulation schedules.
 const Forever = Time(^uint64(0) >> 1)
 
+// EventHandler is implemented by model objects that schedule themselves
+// without allocating a closure per event: storing an existing pointer
+// in the event queue costs nothing, whereas a `func(){...}` literal
+// that captures variables heap-allocates on every call. OnEvent runs in
+// engine context at the event's time (passed as now).
+type EventHandler interface {
+	OnEvent(now Time)
+}
+
+// event is one queued entry. Exactly one of the payload fields is set;
+// dispatch order is coro, handler, call, fn. All payloads are stored
+// inline in the heap slice, so scheduling never allocates beyond
+// amortized slice growth (and the closure itself for the fn path).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at      Time
+	seq     uint64
+	coro    *Coro        // step this coroutine
+	handler EventHandler // invoke OnEvent(at)
+	call    func(Time)   // invoke call(at)
+	fn      func()       // invoke fn()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the queue's total order: (time, sequence number).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is the discrete-event simulator core. The zero value is not
@@ -63,7 +76,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap ordered by (at, seq)
 
 	// running guards Run: set while processing events, checked
 	// atomically so that reentrant *and* cross-goroutine misuse
@@ -73,9 +86,7 @@ type Engine struct {
 
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -84,21 +95,125 @@ func (e *Engine) Now() Time { return e.now }
 // Schedule arranges for fn to run at now+delay. Events scheduled for
 // the same instant run in scheduling order.
 func (e *Engine) Schedule(delay Time, fn func()) {
-	e.At(e.now+delay, fn)
+	e.push(e.now+delay, event{fn: fn})
 }
 
 // At arranges for fn to run at absolute time t. Scheduling in the past
 // panics: it would silently corrupt causality.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(t, event{fn: fn})
+}
+
+// ScheduleStep arranges for c to be stepped at now+delay without
+// allocating a wake-up closure. It is the hot path behind WaitUntil
+// and Queue.WakeOne/WakeAll.
+func (e *Engine) ScheduleStep(delay Time, c *Coro) {
+	e.push(e.now+delay, event{coro: c})
+}
+
+// StepAt is the absolute-time variant of ScheduleStep.
+func (e *Engine) StepAt(t Time, c *Coro) {
+	e.push(t, event{coro: c})
+}
+
+// ScheduleEvent arranges for h.OnEvent to run at now+delay. h is
+// typically a long-lived (pooled or embedded) model object, so the
+// schedule allocates nothing.
+func (e *Engine) ScheduleEvent(delay Time, h EventHandler) {
+	e.push(e.now+delay, event{handler: h})
+}
+
+// AtEvent is the absolute-time variant of ScheduleEvent.
+func (e *Engine) AtEvent(t Time, h EventHandler) {
+	e.push(t, event{handler: h})
+}
+
+// ScheduleCall arranges for fn(t) to run at t = now+delay. Passing an
+// existing func(Time) value stores it directly in the queue — unlike
+// wrapping it in a fresh `func(){ fn(t) }` closure, nothing is
+// allocated.
+func (e *Engine) ScheduleCall(delay Time, fn func(Time)) {
+	e.push(e.now+delay, event{call: fn})
+}
+
+// CallAt is the absolute-time variant of ScheduleCall.
+func (e *Engine) CallAt(t Time, fn func(Time)) {
+	e.push(t, event{call: fn})
 }
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// arity is the heap's branching factor. A 4-ary heap trades slightly
+// more comparisons per sift-down for half the tree depth of a binary
+// heap — fewer cache-missing levels on the sift paths that dominate
+// pop — and keeps the four children of a node in two cache lines.
+const arity = 4
+
+// push inserts ev at time t, assigning the next sequence number.
+func (e *Engine) push(t Time, ev event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
+	}
+	e.seq++
+	ev.at = t
+	ev.seq = e.seq
+
+	h := append(e.events, event{})
+	// Sift up with a hole: parents move down until ev's slot is found,
+	// so ev is written exactly once.
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / arity
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the minimum event. The queue must not be
+// empty.
+func (e *Engine) pop() event {
+	h := e.events
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release closure/handler references
+	h = h[:n]
+	e.events = h
+	if n == 0 {
+		return min
+	}
+	// Sift the former last element down with a hole.
+	i := 0
+	for {
+		first := i*arity + 1
+		if first >= n {
+			break
+		}
+		end := first + arity
+		if end > n {
+			end = n
+		}
+		best := first
+		for c := first + 1; c < end; c++ {
+			if h[c].before(&h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(&last) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = last
+	return min
+}
 
 // Run processes events in time order until the queue drains or the
 // clock would pass limit. It returns the number of events processed.
@@ -113,13 +228,21 @@ func (e *Engine) Run(limit Time) int {
 
 	n := 0
 	for len(e.events) > 0 {
-		ev := e.events[0]
-		if ev.at > limit {
+		if e.events[0].at > limit {
 			break
 		}
-		heap.Pop(&e.events)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		switch {
+		case ev.coro != nil:
+			ev.coro.Step()
+		case ev.handler != nil:
+			ev.handler.OnEvent(ev.at)
+		case ev.call != nil:
+			ev.call(ev.at)
+		default:
+			ev.fn()
+		}
 		n++
 	}
 	return n

@@ -27,7 +27,6 @@ func TestEngineSameInstantFIFO(t *testing.T) {
 	e := NewEngine()
 	var got []int
 	for i := 0; i < 10; i++ {
-		i := i
 		e.Schedule(5, func() { got = append(got, i) })
 	}
 	e.RunUntilIdle()

@@ -28,7 +28,6 @@ func runMini(t *testing.T, name string, polName string) (prism.Results, prism.Wo
 
 func TestAllWorkloadsRunSCOMA(t *testing.T) {
 	for _, name := range Names() {
-		name := name
 		t.Run(name, func(t *testing.T) {
 			res, _ := runMini(t, name, "SCOMA")
 			if res.Cycles == 0 {
@@ -46,7 +45,6 @@ func TestAllWorkloadsRunSCOMA(t *testing.T) {
 
 func TestAllWorkloadsRunLANUMA(t *testing.T) {
 	for _, name := range Names() {
-		name := name
 		t.Run(name, func(t *testing.T) {
 			res, _ := runMini(t, name, "LANUMA")
 			if res.ImagFrames == 0 {
@@ -69,7 +67,6 @@ func TestWorkloadFunctionalResults(t *testing.T) {
 		"water-spa": func(w prism.Workload) bool { return w.(*WaterSpa).Finite() },
 	}
 	for _, name := range Names() {
-		name := name
 		t.Run(name, func(t *testing.T) {
 			_, w := runMini(t, name, "SCOMA")
 			if !checks[name](w) {
