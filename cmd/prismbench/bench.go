@@ -1,5 +1,5 @@
 // In-process microbenchmarks and the committed host-performance
-// baseline (BENCH_3.json).
+// baseline (BENCH_4.json).
 //
 // `prismbench -bench all` runs the suite via testing.Benchmark and
 // prints a table; `-benchjson FILE` writes the results (plus the
@@ -18,7 +18,16 @@ import (
 	"testing"
 
 	"prism"
+	"prism/internal/directory"
+	"prism/internal/ipc"
+	"prism/internal/kernel"
+	"prism/internal/mem"
+	"prism/internal/network"
+	"prism/internal/node"
+	"prism/internal/pit"
+	"prism/internal/policy"
 	"prism/internal/sim"
+	"prism/internal/timing"
 	"prism/workloads"
 )
 
@@ -39,7 +48,7 @@ type SweepTiming struct {
 	WallMS int64  `json:"wall_ms"`
 }
 
-// BenchReport is the schema of BENCH_3.json.
+// BenchReport is the schema of BENCH_4.json.
 type BenchReport struct {
 	Note       string        `json:"note,omitempty"`
 	Benchmarks []BenchResult `json:"benchmarks"`
@@ -49,12 +58,16 @@ type BenchReport struct {
 	Previous *BenchReport `json:"previous,omitempty"`
 }
 
-// benchSuite maps benchmark names to bodies. The first two must stay
-// 0 allocs/op; the Machine* entries run one full mini-size simulation
-// per iteration.
+// benchSuite maps benchmark names to bodies. Everything except the
+// Machine* entries must stay 0 allocs/op; the Machine* entries run one
+// full mini-size simulation per iteration.
 var benchSuite = map[string]func(b *testing.B){
 	"EventQueue":       benchEventQueue,
 	"CoroutineHandoff": benchCoroutineHandoff,
+	"PITLookup":        benchPITLookup,
+	"PITReverseHash":   benchPITReverseHash,
+	"DirectoryAccess":  benchDirectoryAccess,
+	"KernelPTEHit":     benchKernelPTEHit,
 	"MachineFFT":       func(b *testing.B) { benchMachine(b, "fft", "SCOMA") },
 	"MachineRadix":     func(b *testing.B) { benchMachine(b, "radix", "Dyn-LRU") },
 }
@@ -89,6 +102,90 @@ func benchCoroutineHandoff(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Step()
+	}
+}
+
+// benchPITLookup mirrors internal/pit's BenchmarkLookup: the forward
+// translation behind every bus transaction, on the dense table.
+func benchPITLookup(b *testing.B) {
+	p := benchPITTable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e, _ := p.Lookup(mem.FrameID(i & 255)); e == nil {
+			b.Fatal("missing entry")
+		}
+	}
+}
+
+// benchPITReverseHash mirrors internal/pit's BenchmarkReverseLookupHash:
+// reverse translation with no frame guess, through the open-addressing
+// reverse table.
+func benchPITReverseHash(b *testing.B) {
+	p := benchPITTable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := mem.GPage{Seg: 1, Page: uint32(i & 255)}
+		if _, ok, _ := p.ReverseLookup(g, 0, false); !ok {
+			b.Fatal("hash path failed")
+		}
+	}
+}
+
+func benchPITTable() *pit.PIT {
+	p := pit.New(0, mem.DefaultGeometry, pit.DefaultConfig)
+	for i := 0; i < 256; i++ {
+		p.Insert(mem.FrameID(i), pit.Entry{
+			Mode:  pit.ModeSCOMA,
+			GPage: mem.GPage{Seg: 1, Page: uint32(i)},
+			Caps:  ^uint64(0),
+		})
+	}
+	return p
+}
+
+// benchDirectoryAccess mirrors internal/directory's BenchmarkAccess:
+// the home side's per-request line lookup on the paged slice arena.
+func benchDirectoryAccess(b *testing.B) {
+	d := directory.New(0, mem.DefaultGeometry, directory.DefaultConfig)
+	const pages = 64
+	for i := 0; i < pages; i++ {
+		d.AddPage(mem.GPage{Seg: 1, Page: uint32(i)}, 0)
+	}
+	lpp := mem.DefaultGeometry.LinesPerPage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e, _, ok := d.Access(mem.GPage{Seg: 1, Page: uint32(i % pages)}, i%lpp); !ok || e == nil {
+			b.Fatal("missing directory entry")
+		}
+	}
+}
+
+// benchKernelPTEHit is the fault path's hot translation on a software
+// TLB hit. One node is built (the kernel's private-fault path needs
+// its bound controller), one private page mapped, then PTE is hammered.
+func benchKernelPTEHit(b *testing.B) {
+	e := sim.NewEngine()
+	geom := mem.DefaultGeometry
+	tm := timing.Default()
+	reg := ipc.NewRegistry(geom, 1)
+	net := network.New(e, 1, network.DefaultConfig)
+	k := kernel.New(e, 0, geom, &tm, kernel.Config{RealFrames: 256}, reg, net, policy.SCOMA{})
+	n := node.New(e, 0, geom, &tm, node.DefaultConfig(geom), net, reg, k)
+	net.Attach(0, n)
+	const vsid = mem.VSID(2)
+	k.AttachPrivate(vsid)
+	vp := mem.VPage{Seg: vsid, Page: 0}
+	mapped := false
+	k.HandleFault(vp, func(at sim.Time, f mem.FrameID, ok bool) { mapped = ok })
+	e.RunUntilIdle()
+	if !mapped {
+		b.Fatal("private fault did not map the page")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := k.PTE(vp); !ok {
+			b.Fatal("lost mapping")
+		}
 	}
 }
 
@@ -170,12 +267,16 @@ func writeBenchJSON(path string, rep BenchReport) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// checkBenchBaseline compares measured allocs/op against the
+// checkBenchBaseline compares measured allocation behavior against the
 // committed baseline and reports every regression. Only allocation
-// counts are gated — ns/op is too noisy on shared CI runners. A 1%
-// relative tolerance absorbs the few-alloc jitter of full-machine
-// benchmarks (map growth timing) while still gating the 0 allocs/op
-// engine benchmarks exactly (1% of zero is zero).
+// statistics are gated — ns/op is too noisy on shared CI runners.
+// Allocs/op gets a 1% relative tolerance, which absorbs the few-alloc
+// jitter of full-machine benchmarks (map growth timing) while still
+// gating the 0 allocs/op engine benchmarks exactly (1% of zero is
+// zero). Bytes/op gets a looser 10% tolerance: byte counts wobble more
+// than counts (a single slab or table doubling landing on a different
+// iteration moves kilobytes), but a steady-state allocation leak still
+// trips it long before it trips allocs/op rounding.
 func checkBenchBaseline(path string, measured []BenchResult) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -200,10 +301,15 @@ func checkBenchBaseline(path string, measured []BenchResult) error {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %d allocs/op, baseline %d (limit %d)", m.Name, m.AllocsPerOp, b.AllocsPerOp, limit))
 		}
+		byteLimit := b.BytesPerOp + b.BytesPerOp/10
+		if m.BytesPerOp > byteLimit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d B/op, baseline %d (limit %d)", m.Name, m.BytesPerOp, b.BytesPerOp, byteLimit))
+		}
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("allocation regressions vs %s:\n  %s", path, strings.Join(regressions, "\n  "))
 	}
-	fmt.Fprintf(os.Stderr, "benchcheck: allocs/op within baseline %s\n", path)
+	fmt.Fprintf(os.Stderr, "benchcheck: allocs/op and bytes/op within baseline %s\n", path)
 	return nil
 }

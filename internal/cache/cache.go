@@ -82,6 +82,9 @@ type Cache struct {
 	lines     []line // sets*ways, row-major by set
 	clock     uint64
 
+	// frameDirty is InvalidateFrame's reused result buffer.
+	frameDirty []mem.PAddr
+
 	Stats Stats
 }
 
@@ -303,9 +306,10 @@ func (c *Cache) Invalidate(pa mem.PAddr) State {
 // InvalidateFrame removes every line belonging to physical frame f
 // (geometry g) and returns the line-aligned addresses of the lines
 // that were Modified (which the caller must write back). Used on
-// page-out and page-mode conversion.
+// page-out and page-mode conversion. The returned slice is a reused
+// buffer, valid only until the next InvalidateFrame on this cache.
 func (c *Cache) InvalidateFrame(g mem.Geometry, f mem.FrameID) []mem.PAddr {
-	var dirty []mem.PAddr
+	dirty := c.frameDirty[:0]
 	for ln := 0; ln < g.LinesPerPage(); ln++ {
 		pa := mem.NewPAddr(g, f, ln*g.LineSize)
 		set, tag := c.index(pa)
@@ -316,6 +320,7 @@ func (c *Cache) InvalidateFrame(g mem.Geometry, f mem.FrameID) []mem.PAddr {
 			c.lines[i].state = Invalid
 		}
 	}
+	c.frameDirty = dirty
 	return dirty
 }
 

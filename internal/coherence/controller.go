@@ -8,6 +8,7 @@ import (
 	"prism/internal/metrics"
 	"prism/internal/network"
 	"prism/internal/pit"
+	"prism/internal/pool"
 	"prism/internal/sim"
 	"prism/internal/timing"
 )
@@ -167,7 +168,7 @@ func (c *Controller) clientEv(fl Filler, excl, fault, retry bool) *clientEvent {
 type homeTxn struct {
 	needAcks int
 	finish   func()
-	onRecall func(*RecallRespMsg)
+	onRecall func(RecallRespMsg)
 }
 
 // Controller is one node's PRISM coherence controller.
@@ -220,6 +221,37 @@ type Controller struct {
 	hwLocks  map[lineKey]*hwLock
 	lockWait map[lineKey][]pendingAcquire
 
+	// pools is the message free-list set: every send site acquires from
+	// a pool and Deliver releases on receipt (handlers that outlive
+	// their call get a value copy), mirroring the pooled-event pattern
+	// of the engine and network. The machine builder shares one set
+	// across all of a machine's controllers (legal: one machine is one
+	// engine, one goroutine) — essential because protocol flows are
+	// directional: clients send GetMsgs and homes release them, so
+	// per-controller pools would never recycle.
+	pools *MsgPools
+
+	// flushScratch is FlushPage's per-line dirty bitmap, reused across
+	// calls.
+	flushScratch []bool
+
+	// freeTxns and freeHome recycle client/home transaction records
+	// (these never cross nodes, so the lists are per-controller).
+	freeTxns []*clientTxn
+	freeHome []*homeTxn
+
+	// freeInvEv and freeRecallEv recycle the bus-retrieve event records
+	// for incoming invalidations and recalls, whose callbacks would
+	// otherwise allocate two closures per message.
+	freeInvEv    []*invEvent
+	freeRecallEv []*recallEvent
+	freeGetEv    []*getEvent
+	freeAckEv    []*ackEvent
+
+	// sharerScratch is handleGet's reused sharer list (valid only until
+	// the next GETX handled by this controller).
+	sharerScratch []mem.NodeID
+
 	// SyncStats counts hardware-lock activity at this home.
 	SyncStats SyncStats
 
@@ -247,6 +279,7 @@ func New(e *sim.Engine, node mem.NodeID, geom mem.Geometry, tm *timing.T, cfg Co
 		homeQ:        make(map[lineKey][]func()),
 		flushWait:    make(map[uint64]func(at sim.Time)),
 		clientFrames: make(map[mem.GPage]map[mem.NodeID]mem.FrameID),
+		pools:        NewMsgPools(), // standalone default; see UsePools
 	}
 	c.ctrl.Name = fmt.Sprintf("ctrl%d", node)
 	return c
@@ -279,6 +312,56 @@ func (c *Controller) send(at sim.Time, dst mem.NodeID, size int, msg network.Mes
 	c.net.Send(at, c.node, dst, size, msg)
 }
 
+// MsgPools is a free-list set for the coherence protocol messages plus
+// the FlushMsg.DirtyLines buffers that ride them. One set must be
+// shared by every controller of a machine (UsePools): the sender of a
+// message type and its releaser are different nodes, so isolated pools
+// would leak on one side and starve on the other. Sharing is safe
+// because one machine runs on one engine goroutine.
+type MsgPools struct {
+	get        pool.Free[GetMsg]
+	data       pool.Free[DataMsg]
+	grantAck   pool.Free[GrantAckMsg]
+	inv        pool.Free[InvMsg]
+	invAck     pool.Free[InvAckMsg]
+	recall     pool.Free[RecallMsg]
+	recallResp pool.Free[RecallRespMsg]
+	wb         pool.Free[WBMsg]
+	flush      pool.Free[FlushMsg]
+	flushAck   pool.Free[FlushAckMsg]
+	lockReq    pool.Free[LockReqMsg]
+	lockGrant  pool.Free[LockGrantMsg]
+	unlock     pool.Free[UnlockMsg]
+
+	freeInts [][]int
+}
+
+// NewMsgPools builds an empty pool set.
+func NewMsgPools() *MsgPools { return &MsgPools{} }
+
+// UsePools points this controller at a (machine-shared) pool set. Must
+// be called at build time, before any traffic flows.
+func (c *Controller) UsePools(p *MsgPools) { c.pools = p }
+
+// getInts pops (or allocates) a dirty-line index buffer for FlushPage.
+func (c *Controller) getInts() []int {
+	fi := c.pools.freeInts
+	if n := len(fi); n > 0 {
+		s := fi[n-1]
+		fi[n-1] = nil
+		c.pools.freeInts = fi[:n-1]
+		return s[:0]
+	}
+	return make([]int, 0, c.geom.LinesPerPage())
+}
+
+// putInts reclaims a DirtyLines buffer once the flush has been applied.
+func (c *Controller) putInts(s []int) {
+	if s != nil {
+		c.pools.freeInts = append(c.pools.freeInts, s)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Client side
 // ---------------------------------------------------------------------------
@@ -303,15 +386,17 @@ func (c *Controller) ClientFetch(at sim.Time, f mem.FrameID, ln int, write bool,
 		c.PIT.SetTag(f, ln, pit.TagTransit)
 	}
 
-	c.client[key] = &clientTxn{frame: f, excl: write, start: at, fill: fr}
+	txn := c.getTxn()
+	txn.frame, txn.excl, txn.start, txn.fill = f, write, at, fr
+	c.client[key] = txn
 
 	t := c.ctrlBusy(at, c.tm.CtrlOut)
-	c.send(t, ent.DynHome, c.tm.MsgHeader, &GetMsg{
-		Page: ent.GPage, Line: ln, From: c.node,
-		Excl: write, HaveData: upgrade,
-		ReqFrame:  f,
-		HomeFrame: ent.HomeFrame, HomeFrameOK: ent.HomeFrameKnown,
-	})
+	g := c.pools.get.Get()
+	g.Page, g.Line, g.From = ent.GPage, ln, c.node
+	g.Excl, g.HaveData = write, upgrade
+	g.ReqFrame = f
+	g.HomeFrame, g.HomeFrameOK = ent.HomeFrame, ent.HomeFrameKnown
+	c.send(t, ent.DynHome, c.tm.MsgHeader, g)
 }
 
 // handleData completes a client transaction.
@@ -371,7 +456,9 @@ func (c *Controller) handleData(src mem.NodeID, m *DataMsg) {
 	}
 
 	// Acknowledge consumption so the home unlocks the line.
-	c.send(t, m.DynHome, c.tm.MsgHeader, &GrantAckMsg{Page: m.Page, Line: m.Line})
+	ga := c.pools.grantAck.Get()
+	ga.Page, ga.Line = m.Page, m.Line
+	c.send(t, m.DynHome, c.tm.MsgHeader, ga)
 
 	c.e.AtEvent(t, c.clientEv(txn.fill, m.Excl, m.Fault, false))
 	for i, w := range txn.waiters {
@@ -379,6 +466,29 @@ func (c *Controller) handleData(src mem.NodeID, m *DataMsg) {
 		// retries serialize deterministically.
 		c.e.AtEvent(t+sim.Time(i+1)*2, c.clientEv(w, false, false, true))
 	}
+	c.putTxn(txn)
+}
+
+// getTxn pops (or allocates) a client transaction record.
+func (c *Controller) getTxn() *clientTxn {
+	if n := len(c.freeTxns); n > 0 {
+		txn := c.freeTxns[n-1]
+		c.freeTxns = c.freeTxns[:n-1]
+		return txn
+	}
+	return &clientTxn{}
+}
+
+// putTxn recycles a completed client transaction. The waiters slice
+// keeps its capacity; its Filler references are dropped so the pool
+// does not pin them.
+func (c *Controller) putTxn(txn *clientTxn) {
+	txn.fill = nil
+	for i := range txn.waiters {
+		txn.waiters[i] = nil
+	}
+	txn.waiters = txn.waiters[:0]
+	c.freeTxns = append(c.freeTxns, txn)
 }
 
 // ClientWriteback handles a dirty L2 eviction against frame f.
@@ -393,10 +503,10 @@ func (c *Controller) ClientWriteback(f mem.FrameID, ln int, ent *pit.Entry) {
 	case pit.ModeLANUMA:
 		t := c.ctrlBusy(c.e.Now(), c.tm.CtrlOut)
 		c.Stats.WritebacksSent++
-		c.send(t, ent.DynHome, c.tm.MsgHeader+c.tm.LineBytes, &WBMsg{
-			Page: ent.GPage, Line: ln,
-			HomeFrame: ent.HomeFrame, HomeFrameOK: ent.HomeFrameKnown,
-		})
+		wb := c.pools.wb.Get()
+		wb.Page, wb.Line = ent.GPage, ln
+		wb.HomeFrame, wb.HomeFrameOK = ent.HomeFrame, ent.HomeFrameKnown
+		c.send(t, ent.DynHome, c.tm.MsgHeader+c.tm.LineBytes, wb)
 	default:
 		c.memAccess(c.e.Now(), c.tm.MemWrite)
 	}
@@ -417,23 +527,29 @@ func (c *Controller) FlushPage(f mem.FrameID, drop bool, done func(at sim.Time))
 		panic(fmt.Sprintf("coherence: node %d: FlushPage of in-transit frame %d", c.node, f))
 	}
 
-	dirtySet := make(map[int]bool)
+	if c.flushScratch == nil {
+		c.flushScratch = make([]bool, c.geom.LinesPerPage())
+	}
+	ds := c.flushScratch
 	for _, ln := range c.local.InvalidateFrameLines(f) {
-		dirtySet[ln] = true
+		ds[ln] = true
 	}
 	if ent.Mode == pit.ModeSCOMA {
 		for ln := range ent.Dirty {
 			if ent.Dirty[ln] && ent.Tags[ln] == pit.TagExclusive {
-				dirtySet[ln] = true
+				ds[ln] = true
 			}
 			c.PIT.SetTag(f, ln, pit.TagInvalid)
 			ent.Dirty[ln] = false
 		}
 	}
-	dirty := make([]int, 0, len(dirtySet))
+	// The ordered scan doubles as the scratch clear, keeping the same
+	// ascending line order the map+scan version produced.
+	dirty := c.getInts()
 	for ln := 0; ln < c.geom.LinesPerPage(); ln++ {
-		if dirtySet[ln] {
+		if ds[ln] {
 			dirty = append(dirty, ln)
+			ds[ln] = false
 		}
 	}
 
@@ -443,11 +559,11 @@ func (c *Controller) FlushPage(f mem.FrameID, drop bool, done func(at sim.Time))
 
 	cost := c.tm.CtrlOut + sim.Time(len(dirty))*c.tm.PerLineFlush
 	t := c.ctrlBusy(c.e.Now(), cost)
-	c.send(t, ent.DynHome, c.tm.MsgHeader+len(dirty)*c.tm.LineBytes, &FlushMsg{
-		Page: ent.GPage, DirtyLines: dirty, Drop: drop,
-		HomeFrame: ent.HomeFrame, HomeFrameOK: ent.HomeFrameKnown,
-		From: c.node, Token: tok,
-	})
+	fm := c.pools.flush.Get()
+	fm.Page, fm.DirtyLines, fm.Drop = ent.GPage, dirty, drop
+	fm.HomeFrame, fm.HomeFrameOK = ent.HomeFrame, ent.HomeFrameKnown
+	fm.From, fm.Token = c.node, tok
+	c.send(t, ent.DynHome, c.tm.MsgHeader+len(dirty)*c.tm.LineBytes, fm)
 }
 
 // handleFlushAck completes a FlushPage.
@@ -461,7 +577,8 @@ func (c *Controller) handleFlushAck(m *FlushAckMsg) {
 }
 
 // handleInv processes an invalidation of a shared line at this client.
-func (c *Controller) handleInv(src mem.NodeID, m *InvMsg) {
+// m arrives by value: the delivered message is already back in its pool.
+func (c *Controller) handleInv(src mem.NodeID, m InvMsg) {
 	c.Stats.InvsReceived++
 	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
 
@@ -474,37 +591,41 @@ func (c *Controller) handleInv(src mem.NodeID, m *InvMsg) {
 				c.PIT.SetTag(f, m.Line, pit.TagInvalid)
 				ent.Dirty[m.Line] = false
 			}
-			pa := mem.NewPAddr(c.geom, f, m.Line*c.geom.LineSize)
-			c.e.At(t, func() {
-				c.local.Retrieve(pa, true, func(at sim.Time, _ bool) {
-					c.send(at, src, c.tm.MsgHeader, &InvAckMsg{Page: m.Page, Line: m.Line})
-				})
-			})
+			ev := c.getInvEvent()
+			ev.src, ev.page, ev.line = src, m.Page, m.Line
+			ev.pa = mem.NewPAddr(c.geom, f, m.Line*c.geom.LineSize)
+			c.e.AtEvent(t, ev)
 			return
 		}
 	}
 	// Frame already unmapped (raced with a page-out): ack immediately.
-	c.send(t, src, c.tm.MsgHeader, &InvAckMsg{Page: m.Page, Line: m.Line})
+	ia := c.pools.invAck.Get()
+	ia.Page, ia.Line = m.Page, m.Line
+	c.send(t, src, c.tm.MsgHeader, ia)
 }
 
 // handleRecall processes a recall of an exclusively-held line.
-func (c *Controller) handleRecall(src mem.NodeID, m *RecallMsg) {
+// m arrives by value: the delivered message is already back in its pool.
+func (c *Controller) handleRecall(src mem.NodeID, m RecallMsg) {
 	c.Stats.RecallsReceived++
 	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
 
 	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.ClientFrame, m.ClientFrameOK)
 	t += cost
 	if !ok {
-		c.send(t, src, c.tm.MsgHeader, &RecallRespMsg{Page: m.Page, Line: m.Line, Had: false})
+		rr := c.pools.recallResp.Get()
+		rr.Page, rr.Line = m.Page, m.Line
+		c.send(t, src, c.tm.MsgHeader, rr)
 		return
 	}
 	ent := c.PIT.Entry(f)
 	if ent == nil || !ent.Valid() || ent.GPage != m.Page {
-		c.send(t, src, c.tm.MsgHeader, &RecallRespMsg{Page: m.Page, Line: m.Line, Had: false})
+		rr := c.pools.recallResp.Get()
+		rr.Page, rr.Line = m.Page, m.Line
+		c.send(t, src, c.tm.MsgHeader, rr)
 		return
 	}
 
-	pa := mem.NewPAddr(c.geom, f, m.Line*c.geom.LineSize)
 	scomaDirty := false
 	if ent.Mode == pit.ModeSCOMA {
 		scomaDirty = ent.Dirty[m.Line]
@@ -518,82 +639,191 @@ func (c *Controller) handleRecall(src mem.NodeID, m *RecallMsg) {
 		ent.Dirty[m.Line] = false
 	}
 
-	c.e.At(t, func() {
-		c.local.Retrieve(pa, m.Inval, func(at sim.Time, procDirty bool) {
-			dirty := procDirty || scomaDirty
-			// Data goes straight to the requester; the (sharing)
-			// writeback goes to the home in parallel.
-			c.send(at, m.Requester, c.tm.MsgHeader+c.tm.LineBytes, &DataMsg{
-				Page: m.Page, Line: m.Line, ReqFrame: m.ReqFrame,
-				Excl: m.Inval, WithData: true,
-				HomeFrame: m.HomeFrame, DynHome: src,
-			})
-			size := c.tm.MsgHeader
-			if dirty {
-				size += c.tm.LineBytes
-			}
-			c.send(at, src, size, &RecallRespMsg{Page: m.Page, Line: m.Line, Dirty: dirty, Had: true})
-		})
-	})
+	ev := c.getRecallEvent()
+	ev.src, ev.m, ev.scomaDirty = src, m, scomaDirty
+	ev.pa = mem.NewPAddr(c.geom, f, m.Line*c.geom.LineSize)
+	c.e.AtEvent(t, ev)
+}
+
+// invEvent is the pooled bus-retrieve record for one incoming
+// invalidation: schedule it with AtEvent, and its pre-bound doneFn
+// sends the ack — zero allocations steady-state where the closure form
+// paid two per message.
+type invEvent struct {
+	c      *Controller
+	src    mem.NodeID
+	pa     mem.PAddr
+	page   mem.GPage
+	line   int
+	doneFn func(sim.Time, bool)
+}
+
+func (ev *invEvent) OnEvent(now sim.Time) { ev.c.local.Retrieve(ev.pa, true, ev.doneFn) }
+
+func (ev *invEvent) done(at sim.Time, _ bool) {
+	c := ev.c
+	ia := c.pools.invAck.Get()
+	ia.Page, ia.Line = ev.page, ev.line
+	c.send(at, ev.src, c.tm.MsgHeader, ia)
+	c.freeInvEv = append(c.freeInvEv, ev)
+}
+
+func (c *Controller) getInvEvent() *invEvent {
+	if n := len(c.freeInvEv); n > 0 {
+		ev := c.freeInvEv[n-1]
+		c.freeInvEv = c.freeInvEv[:n-1]
+		return ev
+	}
+	ev := &invEvent{c: c}
+	ev.doneFn = ev.done
+	return ev
+}
+
+// recallEvent is the pooled analogue for incoming recalls.
+type recallEvent struct {
+	c          *Controller
+	src        mem.NodeID
+	pa         mem.PAddr
+	m          RecallMsg
+	scomaDirty bool
+	doneFn     func(sim.Time, bool)
+}
+
+func (ev *recallEvent) OnEvent(now sim.Time) { ev.c.local.Retrieve(ev.pa, ev.m.Inval, ev.doneFn) }
+
+func (ev *recallEvent) done(at sim.Time, procDirty bool) {
+	c, m := ev.c, &ev.m
+	dirty := procDirty || ev.scomaDirty
+	// Data goes straight to the requester; the (sharing) writeback goes
+	// to the home in parallel.
+	d := c.pools.data.Get()
+	d.Page, d.Line, d.ReqFrame = m.Page, m.Line, m.ReqFrame
+	d.Excl, d.WithData = m.Inval, true
+	d.HomeFrame, d.DynHome = m.HomeFrame, ev.src
+	c.send(at, m.Requester, c.tm.MsgHeader+c.tm.LineBytes, d)
+	size := c.tm.MsgHeader
+	if dirty {
+		size += c.tm.LineBytes
+	}
+	rr := c.pools.recallResp.Get()
+	rr.Page, rr.Line, rr.Dirty, rr.Had = m.Page, m.Line, dirty, true
+	c.send(at, ev.src, size, rr)
+	c.freeRecallEv = append(c.freeRecallEv, ev)
+}
+
+func (c *Controller) getRecallEvent() *recallEvent {
+	if n := len(c.freeRecallEv); n > 0 {
+		ev := c.freeRecallEv[n-1]
+		c.freeRecallEv = c.freeRecallEv[:n-1]
+		return ev
+	}
+	ev := &recallEvent{c: c}
+	ev.doneFn = ev.done
+	return ev
 }
 
 // Deliver implements network.Handler dispatch for coherence traffic.
 // It returns false for message types it does not own (paging traffic),
 // which the node routes to the kernel.
+//
+// Messages are released to the receiving controller's pools here, on
+// delivery. Handlers that can outlive their call (Get/Inv/Recall/WB/
+// Flush schedule continuations or queue behind a locked line) take a
+// value copy; the strictly synchronous handlers are verified not to
+// retain the pointer, so it is returned to the pool right after they
+// run. The held-page migration window is checked with isHeld before
+// dispatch so the common path allocates no closure.
 func (c *Controller) Deliver(src mem.NodeID, msg network.Message) bool {
 	switch m := msg.(type) {
 	case *GetMsg:
 		c.Stats.MsgGet++
-		if c.holdIfMigrating(m.Page, func() { c.handleGet(src, m, false) }) {
+		mv := *m
+		c.pools.get.Put(m)
+		if c.isHeld(mv.Page) {
+			c.holdGet(src, mv)
 			return true
 		}
-		c.handleGet(src, m, false)
+		c.handleGet(src, mv, false)
 	case *DataMsg:
 		c.Stats.MsgData++
 		c.handleData(src, m)
+		c.pools.data.Put(m)
 	case *GrantAckMsg:
 		c.Stats.MsgGrantAck++
 		c.handleGrantAck(src, m)
+		c.pools.grantAck.Put(m)
 	case *InvMsg:
 		c.Stats.MsgInv++
-		c.handleInv(src, m)
+		mv := *m
+		c.pools.inv.Put(m)
+		c.handleInv(src, mv)
 	case *InvAckMsg:
 		c.Stats.MsgInvAck++
 		c.handleInvAck(src, m)
+		c.pools.invAck.Put(m)
 	case *RecallMsg:
 		c.Stats.MsgRecall++
-		c.handleRecall(src, m)
+		mv := *m
+		c.pools.recall.Put(m)
+		c.handleRecall(src, mv)
 	case *RecallRespMsg:
 		c.Stats.MsgRecallResp++
 		c.handleRecallResp(src, m)
+		c.pools.recallResp.Put(m)
 	case *WBMsg:
 		c.Stats.MsgWB++
-		if c.holdIfMigrating(m.Page, func() { c.handleWB(src, m) }) {
+		mv := *m
+		c.pools.wb.Put(m)
+		if c.isHeld(mv.Page) {
+			c.holdWB(src, mv)
 			return true
 		}
-		c.handleWB(src, m)
+		c.handleWB(src, mv)
 	case *FlushMsg:
 		c.Stats.MsgFlush++
-		if c.holdIfMigrating(m.Page, func() { c.handleFlush(src, m) }) {
+		mv := *m // mv keeps the DirtyLines slice; Put only nils the field
+		c.pools.flush.Put(m)
+		if c.isHeld(mv.Page) {
+			c.holdFlush(src, mv)
 			return true
 		}
-		c.handleFlush(src, m)
+		c.handleFlush(src, mv)
 	case *FlushAckMsg:
 		c.Stats.MsgFlushAck++
 		c.handleFlushAck(m)
+		c.pools.flushAck.Put(m)
 	case *LockReqMsg:
 		c.Stats.MsgLockReq++
 		c.handleLockReq(src, m)
+		c.pools.lockReq.Put(m)
 	case *LockGrantMsg:
 		c.Stats.MsgLockGrant++
 		c.handleLockGrant(src, m)
+		c.pools.lockGrant.Put(m)
 	case *UnlockMsg:
 		c.Stats.MsgUnlock++
 		c.handleUnlock(src, m)
+		c.pools.unlock.Put(m)
 	default:
 		return false
 	}
 	return true
+}
+
+// holdGet/holdWB/holdFlush queue a home-role message during a page's
+// migration window. They live out of line so the value capture (one
+// heap allocation) is paid only on the rare held path, not on every
+// delivery.
+func (c *Controller) holdGet(src mem.NodeID, m GetMsg) {
+	c.held[m.Page] = append(c.held[m.Page], func() { c.handleGet(src, m, false) })
+}
+
+func (c *Controller) holdWB(src mem.NodeID, m WBMsg) {
+	c.held[m.Page] = append(c.held[m.Page], func() { c.handleWB(src, m) })
+}
+
+func (c *Controller) holdFlush(src mem.NodeID, m FlushMsg) {
+	c.held[m.Page] = append(c.held[m.Page], func() { c.handleFlush(src, m) })
 }
 
 // RegisterMetrics registers the controller's protocol counters,

@@ -10,17 +10,17 @@ import (
 )
 
 // reply sends the home's response for a Get transaction.
-func (c *Controller) reply(t sim.Time, dst mem.NodeID, m *GetMsg, withData, excl, fault bool, homeFrame mem.FrameID) {
+func (c *Controller) reply(t sim.Time, dst mem.NodeID, m GetMsg, withData, excl, fault bool, homeFrame mem.FrameID) {
 	size := c.tm.MsgHeader
 	if withData {
 		size += c.tm.LineBytes
 	}
 	out := c.ctrlBusy(t, c.tm.CtrlOut)
-	c.send(out, dst, size, &DataMsg{
-		Page: m.Page, Line: m.Line, ReqFrame: m.ReqFrame,
-		Excl: excl, WithData: withData, Fault: fault,
-		HomeFrame: homeFrame, DynHome: c.node,
-	})
+	d := c.pools.data.Get()
+	d.Page, d.Line, d.ReqFrame = m.Page, m.Line, m.ReqFrame
+	d.Excl, d.WithData, d.Fault = excl, withData, fault
+	d.HomeFrame, d.DynHome = homeFrame, c.node
+	c.send(out, dst, size, d)
 }
 
 // routeAway picks where to send a request this node cannot serve: the
@@ -38,7 +38,7 @@ func (c *Controller) routeAway(g mem.GPage) mem.NodeID {
 // forward re-routes a request that arrived at a node which no longer
 // (or never) holds the page's directory — the misdirected-request path
 // of lazy page migration (§3.5).
-func (c *Controller) forward(t sim.Time, src mem.NodeID, m *GetMsg) {
+func (c *Controller) forward(t sim.Time, src mem.NodeID, m GetMsg) {
 	if m.Hops > 2*c.net.Nodes() {
 		panic(fmt.Sprintf("coherence: routing loop for %v (hops=%d)", m.Page, m.Hops))
 	}
@@ -47,30 +47,48 @@ func (c *Controller) forward(t sim.Time, src mem.NodeID, m *GetMsg) {
 		panic(fmt.Sprintf("coherence: node %d cannot route %v: registry says it is here", c.node, m.Page))
 	}
 	c.Stats.Forwards++
-	fm := *m
+	fm := c.pools.get.Get()
+	*fm = m
 	fm.Hops++
 	fm.HomeFrameOK = false // the hint was for the wrong node
 	out := c.ctrlBusy(t, c.tm.CtrlOut)
-	c.send(out, dst, c.tm.MsgHeader, &fm)
+	c.send(out, dst, c.tm.MsgHeader, fm)
 	// Forwarding preserves the original requester: the eventual reply
 	// goes straight back to src with the new DynHome, which is how
 	// client PIT entries self-correct.
 	_ = src
 }
 
-// lockLine marks a line busy for a multi-party home transaction.
+// noFinish marks a transaction whose completion is wired up later
+// (awaitGrantAck): a nil finish would mean "just unlock" — see ack.
+var noFinish = func() {}
+
+// lockLine marks a line busy for a multi-party home transaction. A nil
+// finish means the transaction simply unlocks the line when the last
+// ack arrives — the common case, kept closure-free.
 func (c *Controller) lockLine(key lineKey, needAcks int, finish func()) *homeTxn {
 	if c.home[key] != nil {
 		panic(fmt.Sprintf("coherence: node %d: line %v already locked", c.node, key))
 	}
-	txn := &homeTxn{needAcks: needAcks, finish: finish}
+	var txn *homeTxn
+	if n := len(c.freeHome); n > 0 {
+		txn = c.freeHome[n-1]
+		c.freeHome = c.freeHome[:n-1]
+	} else {
+		txn = &homeTxn{}
+	}
+	txn.needAcks, txn.finish = needAcks, finish
 	c.home[key] = txn
 	return txn
 }
 
 // unlockLine releases a line and restarts queued requests.
 func (c *Controller) unlockLine(key lineKey) {
-	delete(c.home, key)
+	if txn := c.home[key]; txn != nil {
+		delete(c.home, key)
+		txn.finish, txn.onRecall = nil, nil
+		c.freeHome = append(c.freeHome, txn)
+	}
 	c.drainQueue(key)
 }
 
@@ -107,13 +125,19 @@ func (c *Controller) ack(key lineKey) {
 	}
 	txn.needAcks--
 	if txn.needAcks == 0 {
-		txn.finish()
+		if txn.finish != nil {
+			txn.finish()
+		} else {
+			c.unlockLine(key)
+		}
 	}
 }
 
 // handleGet is the home side of the protocol: Figure 4's "translate,
-// compose message, consult directory" path.
-func (c *Controller) handleGet(src mem.NodeID, m *GetMsg, requeued bool) {
+// compose message, consult directory" path. m arrives by value: the
+// delivered message is already back in its pool, and the transaction
+// closures below capture the copy.
+func (c *Controller) handleGet(src mem.NodeID, m GetMsg, requeued bool) {
 	// The request may have been forwarded; the requester is m.From,
 	// not the transport-level sender.
 	src = m.From
@@ -180,42 +204,17 @@ func (c *Controller) handleGet(src mem.NodeID, m *GetMsg, requeued bool) {
 		// The home's own processors may hold the line modified:
 		// retrieve it over the home bus (Table 1: "2-party read/write
 		// to a modified line").
-		c.lockLine(key, 1, nil) // finish set below via closure
-		txn := c.home[key]
-		txn.finish = func() {}
-		c.e.At(t, func() {
-			c.local.Retrieve(pa, m.Excl, func(at sim.Time, dirty bool) {
-				if dirty {
-					at = c.memAccess(at, c.tm.MemWrite)
-				}
-				if ent.Mode == pit.ModeSCOMA {
-					if m.Excl {
-						c.PIT.SetTag(f, m.Line, pit.TagInvalid)
-					} else {
-						c.PIT.SetTag(f, m.Line, pit.TagShared)
-					}
-					ent.Dirty[m.Line] = false
-				}
-				if m.Excl {
-					*e = dirLineExcl(src)
-				} else {
-					e.Excl = false
-					e.Owner = 0
-					e.Sharers = 0
-					e.AddSharer(c.node)
-					e.AddSharer(src)
-				}
-				rm := c.memAccess(at, c.tm.MemRead)
-				c.reply(rm, src, m, true, m.Excl, false, f)
-				c.awaitGrantAck(key)
-			})
-		})
+		c.lockLine(key, 1, noFinish) // completion wired up via awaitGrantAck
+		ev := c.getGetEvent()
+		ev.m, ev.src, ev.pa, ev.f, ev.key = m, src, pa, f, key
+		ev.ent, ev.line = ent, e
+		c.e.AtEvent(t, ev)
 
 	case e.Excl && e.Owner == src:
 		// The owner re-requests: it silently evicted its copy (clean
 		// LA-NUMA eviction). Home memory is current; re-grant
 		// exclusivity regardless of the request flavor.
-		c.lockLine(key, 1, func() { c.unlockLine(key) })
+		c.lockLine(key, 1, nil)
 		rm := c.memAccess(t, c.tm.MemRead)
 		c.reply(rm, src, m, true, true, false, f)
 
@@ -224,15 +223,15 @@ func (c *Controller) handleGet(src mem.NodeID, m *GetMsg, requeued bool) {
 		// read/write"). The owner sends the data directly to the
 		// requester; the home waits only for the sharing writeback.
 		owner := e.Owner
-		c.lockLine(key, 2, func() { c.unlockLine(key) })
+		c.lockLine(key, 2, nil)
 		hint, hintOK := c.clientHint(m.Page, owner)
 		out := c.ctrlBusy(t, c.tm.CtrlOut)
-		c.send(out, owner, c.tm.MsgHeader, &RecallMsg{
-			Page: m.Page, Line: m.Line, Inval: m.Excl,
-			ClientFrame: hint, ClientFrameOK: hintOK,
-			Requester: src, ReqFrame: m.ReqFrame, HomeFrame: f,
-		})
-		c.pendingRecall(key, func(resp *RecallRespMsg) {
+		rc := c.pools.recall.Get()
+		rc.Page, rc.Line, rc.Inval = m.Page, m.Line, m.Excl
+		rc.ClientFrame, rc.ClientFrameOK = hint, hintOK
+		rc.Requester, rc.ReqFrame, rc.HomeFrame = src, m.ReqFrame, f
+		c.send(out, owner, c.tm.MsgHeader, rc)
+		c.pendingRecall(key, func(resp RecallRespMsg) {
 			at := c.e.Now()
 			if resp.Dirty {
 				at = c.memAccess(at, c.tm.MemWrite)
@@ -269,14 +268,21 @@ func (c *Controller) handleGet(src mem.NodeID, m *GetMsg, requeued bool) {
 				c.PIT.SetTag(f, m.Line, pit.TagInvalid)
 			}
 		}
-		c.lockLine(key, 1, func() { c.unlockLine(key) })
+		c.lockLine(key, 1, nil)
 		rm := c.memAccess(t, c.tm.MemRead)
 		c.reply(rm, src, m, true, excl, false, f)
 
 	case m.Excl:
 		// GETX on a shared line: invalidate every other sharer
-		// (Table 1: "(3+n)-party write to shared line").
-		sharers := e.SharerList(src, c.net.Nodes())
+		// (Table 1: "(3+n)-party write to shared line"). The sharer
+		// scratch slice is consumed before handleGet returns.
+		sharers := c.sharerScratch[:0]
+		for n := 0; n < c.net.Nodes(); n++ {
+			if id := mem.NodeID(n); id != src && e.IsSharer(id) {
+				sharers = append(sharers, id)
+			}
+		}
+		c.sharerScratch = sharers[:0]
 		withData := !(m.HaveData && e.IsSharer(src))
 		if len(sharers) == 0 {
 			*e = dirLineExcl(src)
@@ -285,7 +291,7 @@ func (c *Controller) handleGet(src mem.NodeID, m *GetMsg, requeued bool) {
 			}
 			// The home reads memory even on an upgrade (validation of
 			// the grant), though no data payload crosses the network.
-			c.lockLine(key, 1, func() { c.unlockLine(key) })
+			c.lockLine(key, 1, nil)
 			rm := c.memAccess(t, c.tm.MemRead)
 			c.reply(rm, src, m, withData, true, false, f)
 			return
@@ -306,26 +312,110 @@ func (c *Controller) handleGet(src mem.NodeID, m *GetMsg, requeued bool) {
 				if ent.Mode == pit.ModeSCOMA && ent.Tags[m.Line] != pit.TagTransit {
 					c.PIT.SetTag(f, m.Line, pit.TagInvalid)
 				}
-				c.e.At(t+stagger, func() {
-					c.local.Retrieve(pa, true, func(at sim.Time, _ bool) {
-						c.ack(key)
-					})
-				})
+				ev := c.getAckEvent()
+				ev.pa, ev.key = pa, key
+				c.e.AtEvent(t+stagger, ev)
 				continue
 			}
 			c.Stats.InvsSent++
 			hint, hintOK := c.clientHint(m.Page, s)
 			out := c.ctrlBusy(t+stagger, c.tm.CtrlOut)
-			c.send(out, s, c.tm.MsgHeader, &InvMsg{
-				Page: m.Page, Line: m.Line,
-				ClientFrame: hint, ClientFrameOK: hintOK,
-			})
+			iv := c.pools.inv.Get()
+			iv.Page, iv.Line = m.Page, m.Line
+			iv.ClientFrame, iv.ClientFrameOK = hint, hintOK
+			c.send(out, s, c.tm.MsgHeader, iv)
 		}
 	}
 }
 
 func dirLineExcl(owner mem.NodeID) directory.Line {
 	return directory.Line{Excl: true, Owner: owner}
+}
+
+// getEvent is the pooled bus-retrieve record for a 2-party Get whose
+// line is modified under the home's own processors (handleGet's first
+// case): its pre-bound doneFn updates the directory and replies without
+// allocating per-request closures.
+type getEvent struct {
+	c      *Controller
+	m      GetMsg
+	src    mem.NodeID
+	pa     mem.PAddr
+	f      mem.FrameID
+	key    lineKey
+	ent    *pit.Entry
+	line   *directory.Line
+	doneFn func(sim.Time, bool)
+}
+
+func (ev *getEvent) OnEvent(now sim.Time) { ev.c.local.Retrieve(ev.pa, ev.m.Excl, ev.doneFn) }
+
+func (ev *getEvent) done(at sim.Time, dirty bool) {
+	c, m, e, src := ev.c, &ev.m, ev.line, ev.src
+	if dirty {
+		at = c.memAccess(at, c.tm.MemWrite)
+	}
+	if ev.ent.Mode == pit.ModeSCOMA {
+		if m.Excl {
+			c.PIT.SetTag(ev.f, m.Line, pit.TagInvalid)
+		} else {
+			c.PIT.SetTag(ev.f, m.Line, pit.TagShared)
+		}
+		ev.ent.Dirty[m.Line] = false
+	}
+	if m.Excl {
+		*e = dirLineExcl(src)
+	} else {
+		e.Excl = false
+		e.Owner = 0
+		e.Sharers = 0
+		e.AddSharer(c.node)
+		e.AddSharer(src)
+	}
+	rm := c.memAccess(at, c.tm.MemRead)
+	c.reply(rm, src, *m, true, m.Excl, false, ev.f)
+	c.awaitGrantAck(ev.key)
+	ev.ent, ev.line = nil, nil
+	c.freeGetEv = append(c.freeGetEv, ev)
+}
+
+func (c *Controller) getGetEvent() *getEvent {
+	if n := len(c.freeGetEv); n > 0 {
+		ev := c.freeGetEv[n-1]
+		c.freeGetEv = c.freeGetEv[:n-1]
+		return ev
+	}
+	ev := &getEvent{c: c}
+	ev.doneFn = ev.done
+	return ev
+}
+
+// ackEvent is the pooled record for invalidating the home's own copy
+// of a line during a GETX: retrieve over the home bus, then ack.
+type ackEvent struct {
+	c      *Controller
+	pa     mem.PAddr
+	key    lineKey
+	doneFn func(sim.Time, bool)
+}
+
+func (ev *ackEvent) OnEvent(now sim.Time) { ev.c.local.Retrieve(ev.pa, true, ev.doneFn) }
+
+func (ev *ackEvent) done(at sim.Time, _ bool) {
+	c := ev.c
+	c.freeAckEv = append(c.freeAckEv, ev)
+	c.ack(ev.key)
+}
+
+func (c *Controller) getAckEvent() *ackEvent {
+	if n := len(c.freeAckEv); n > 0 {
+		ev := c.freeAckEv[n-1]
+		c.freeAckEv = c.freeAckEv[:n-1]
+		return ev
+	}
+	ev := &ackEvent{c: c}
+	ev.doneFn = ev.done
+	return ev
 }
 
 // clientHint returns the cached client frame for (page, node) when the
@@ -339,7 +429,7 @@ func (c *Controller) clientHint(g mem.GPage, n mem.NodeID) (mem.FrameID, bool) {
 }
 
 // pendingRecall stashes the continuation for a recall in flight.
-func (c *Controller) pendingRecall(key lineKey, fn func(*RecallRespMsg)) {
+func (c *Controller) pendingRecall(key lineKey, fn func(RecallRespMsg)) {
 	txn := c.home[key]
 	if txn == nil {
 		panic("coherence: pendingRecall without locked line")
@@ -355,7 +445,7 @@ func (c *Controller) awaitGrantAck(key lineKey) {
 		panic("coherence: awaitGrantAck without locked line")
 	}
 	txn.needAcks = 1
-	txn.finish = func() { c.unlockLine(key) }
+	txn.finish = nil
 }
 
 // handleGrantAck unlocks a line whose grant has been consumed.
@@ -380,12 +470,13 @@ func (c *Controller) handleRecallResp(src mem.NodeID, m *RecallRespMsg) {
 	}
 	fn := txn.onRecall
 	txn.onRecall = nil
-	fn(m)
+	fn(*m)
 	c.ack(key)
 }
 
 // handleWB applies a dirty LA-NUMA eviction writeback to home memory.
-func (c *Controller) handleWB(src mem.NodeID, m *WBMsg) {
+// m arrives by value: the delivered message is already back in its pool.
+func (c *Controller) handleWB(src mem.NodeID, m WBMsg) {
 	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn)
 	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.HomeFrame, m.HomeFrameOK)
 	t += cost
@@ -399,9 +490,10 @@ func (c *Controller) handleWB(src mem.NodeID, m *WBMsg) {
 		dst := c.routeAway(m.Page)
 		if dst != c.node {
 			c.Stats.Forwards++
-			fm := *m
+			fm := c.pools.wb.Get()
+			*fm = m
 			fm.HomeFrameOK = false
-			c.send(t, dst, c.tm.MsgHeader+c.tm.LineBytes, &fm)
+			c.send(t, dst, c.tm.MsgHeader+c.tm.LineBytes, fm)
 		}
 		return
 	}
@@ -417,7 +509,9 @@ func (c *Controller) handleWB(src mem.NodeID, m *WBMsg) {
 // handleFlush applies a page flush (page-out or mode conversion) from
 // a client: writes back the dirty lines, removes the client from the
 // page's directory, optionally notifies the kernel, and acknowledges.
-func (c *Controller) handleFlush(src mem.NodeID, m *FlushMsg) {
+// m arrives by value and owns its DirtyLines buffer: the node that
+// finally applies the flush reclaims it (a forward passes it onward).
+func (c *Controller) handleFlush(src mem.NodeID, m FlushMsg) {
 	t := c.ctrlBusy(c.e.Now(), c.tm.CtrlIn+sim.Time(len(m.DirtyLines))*2)
 	f, ok, cost := c.PIT.ReverseLookup(m.Page, m.HomeFrame, m.HomeFrameOK)
 	t += cost
@@ -431,9 +525,10 @@ func (c *Controller) handleFlush(src mem.NodeID, m *FlushMsg) {
 		// and directory drop land at the authoritative node.
 		if dst := c.routeAway(m.Page); dst != c.node {
 			c.Stats.Forwards++
-			fm := *m
+			fm := c.pools.flush.Get()
+			*fm = m
 			fm.HomeFrameOK = false
-			c.send(t, dst, c.tm.MsgHeader+len(m.DirtyLines)*c.tm.LineBytes, &fm)
+			c.send(t, dst, c.tm.MsgHeader+len(m.DirtyLines)*c.tm.LineBytes, fm)
 			return
 		}
 		ok = false
@@ -450,5 +545,8 @@ func (c *Controller) handleFlush(src mem.NodeID, m *FlushMsg) {
 	if m.Drop && c.pager != nil {
 		c.pager.ClientDropped(m.Page, m.From)
 	}
-	c.send(t, m.From, c.tm.MsgHeader, &FlushAckMsg{Page: m.Page, Token: m.Token})
+	fa := c.pools.flushAck.Get()
+	fa.Page, fa.Token = m.Page, m.Token
+	c.send(t, m.From, c.tm.MsgHeader, fa)
+	c.putInts(m.DirtyLines)
 }

@@ -66,15 +66,12 @@ func (c *Controller) ReleasePage(g mem.GPage) {
 	}
 }
 
-// holdIfMigrating queues a home-role message during the migration
-// window. It returns true if the message was captured.
-func (c *Controller) holdIfMigrating(g mem.GPage, redeliver func()) bool {
-	q, held := c.held[g]
-	if !held {
-		return false
-	}
-	c.held[g] = append(q, redeliver)
-	return true
+// isHeld reports whether page g's home-role traffic is being held for
+// a migration window. Deliver checks this before dispatching so the
+// common (not-migrating) path builds no redelivery closure.
+func (c *Controller) isHeld(g mem.GPage) bool {
+	_, held := c.held[g]
+	return held
 }
 
 // MigrateIn adopts page g's directory as the new dynamic home.

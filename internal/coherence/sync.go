@@ -82,10 +82,10 @@ func (c *Controller) LockAcquire(at sim.Time, f mem.FrameID, ln int, ent *pit.En
 	}
 	c.lockWait[key] = append(c.lockWait[key], pendingAcquire{done: done, start: at})
 	t := c.ctrlBusy(at, c.tm.CtrlOut)
-	c.send(t, ent.DynHome, c.tm.MsgHeader, &LockReqMsg{
-		Page: ent.GPage, Line: ln, From: c.node,
-		HomeFrame: ent.HomeFrame, HomeFrameOK: ent.HomeFrameKnown,
-	})
+	lr := c.pools.lockReq.Get()
+	lr.Page, lr.Line, lr.From = ent.GPage, ln, c.node
+	lr.HomeFrame, lr.HomeFrameOK = ent.HomeFrame, ent.HomeFrameKnown
+	c.send(t, ent.DynHome, c.tm.MsgHeader, lr)
 }
 
 // LockRelease releases line ln of sync frame f (fire-and-forget, like
@@ -95,7 +95,9 @@ func (c *Controller) LockRelease(at sim.Time, f mem.FrameID, ln int, ent *pit.En
 		panic(fmt.Sprintf("coherence: node %d: LockRelease on %v frame", c.node, ent.Mode))
 	}
 	t := c.ctrlBusy(at, c.tm.CtrlOut)
-	c.send(t, ent.DynHome, c.tm.MsgHeader, &UnlockMsg{Page: ent.GPage, Line: ln, From: c.node})
+	ul := c.pools.unlock.Get()
+	ul.Page, ul.Line, ul.From = ent.GPage, ln, c.node
+	c.send(t, ent.DynHome, c.tm.MsgHeader, ul)
 }
 
 // handleLockReq is the home side of an acquire.
@@ -119,7 +121,9 @@ func (c *Controller) handleLockReq(src mem.NodeID, m *LockReqMsg) {
 		l.held = true
 		l.holder = m.From
 		c.SyncStats.Acquires++
-		c.send(t+2, m.From, c.tm.MsgHeader, &LockGrantMsg{Page: m.Page, Line: m.Line})
+		lg := c.pools.lockGrant.Get()
+		lg.Page, lg.Line = m.Page, m.Line
+		c.send(t+2, m.From, c.tm.MsgHeader, lg)
 		return
 	}
 	l.queue = append(l.queue, lockWaiter{node: m.From, since: t})
@@ -143,7 +147,9 @@ func (c *Controller) handleUnlock(src mem.NodeID, m *UnlockMsg) {
 		c.SyncStats.Acquires++
 		c.SyncStats.Handoffs++
 		c.histLockQueue.Observe(t - next.since)
-		c.send(t+2, next.node, c.tm.MsgHeader, &LockGrantMsg{Page: m.Page, Line: m.Line})
+		lg := c.pools.lockGrant.Get()
+		lg.Page, lg.Line = m.Page, m.Line
+		c.send(t+2, next.node, c.tm.MsgHeader, lg)
 		return
 	}
 	l.held = false

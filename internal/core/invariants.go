@@ -15,10 +15,14 @@ import (
 // every scenario; it is also available to users chasing protocol bugs
 // in extended configurations.
 func (m *Machine) CheckInvariants() error {
-	// 1. No dangling transactions anywhere.
+	// 1. No dangling transactions anywhere, and no kernel serving a
+	// stale software-TLB translation.
 	for _, n := range m.Nodes {
 		if s := n.Ctrl.DebugState(); s != "" {
 			return fmt.Errorf("core: dangling transactions:\n%s", s)
+		}
+		if err := n.Kern.CheckTLB(); err != nil {
+			return err
 		}
 	}
 

@@ -55,6 +55,13 @@ func TestStickyLANUMAConversion(t *testing.T) {
 	if res.ImagFrames == 0 {
 		t.Fatal("no imaginary frames allocated after conversions")
 	}
+	// Mode conversion remaps frames under live virtual addresses; no
+	// kernel may keep serving the pre-conversion translation.
+	for _, n := range m.Nodes {
+		if err := n.Kern.CheckTLB(); err != nil {
+			t.Errorf("stale TLB after conversion: %v", err)
+		}
+	}
 }
 
 func TestHomeUnmapProtocol(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"prism/internal/coherence"
 	"prism/internal/ipc"
 	"prism/internal/kernel"
 	"prism/internal/mem"
@@ -135,6 +136,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.Net = network.New(m.E, cfg.Nodes, cfg.Net)
 	m.Reg = ipc.NewRegistry(cfg.Geometry, cfg.Nodes)
 
+	// One machine = one engine = one goroutine, so every controller can
+	// share a single set of message pools. Sharing matters: protocol
+	// flows are directional (clients send Gets, homes retire them), so
+	// per-controller pools would fill on one side and stay empty on the
+	// other.
+	pools := coherence.NewMsgPools()
 	for i := 0; i < cfg.Nodes; i++ {
 		kc := cfg.Kernel
 		if cfg.PageCacheCaps != nil {
@@ -142,6 +149,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 		k := kernel.New(m.E, mem.NodeID(i), cfg.Geometry, &m.tm, kc, m.Reg, m.Net, cfg.Policy)
 		n := node.New(m.E, mem.NodeID(i), cfg.Geometry, &m.tm, cfg.Node, m.Net, m.Reg, k)
+		n.Ctrl.UsePools(pools)
 		m.Net.Attach(mem.NodeID(i), n)
 		n.RegisterMetrics(m.Metrics)
 		m.Nodes = append(m.Nodes, n)

@@ -112,6 +112,19 @@ func TestLazyMigration(t *testing.T) {
 	if err := m.CheckInvariants(); err != nil {
 		t.Errorf("invariants after migration: %v", err)
 	}
+	// The stale-translation regression for lazy migration: promoteHome
+	// rebinds the page's virtual address to a new frame, which must
+	// shoot the software TLB on every involved kernel.
+	var tlbHits uint64
+	for _, n := range m.Nodes {
+		if err := n.Kern.CheckTLB(); err != nil {
+			t.Errorf("stale TLB after migration: %v", err)
+		}
+		tlbHits += n.Kern.TLBStats().Hits
+	}
+	if tlbHits == 0 {
+		t.Error("migration scenario exercised no TLB hits")
+	}
 }
 
 func TestMigrationDeterminism(t *testing.T) {

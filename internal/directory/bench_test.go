@@ -1,0 +1,25 @@
+package directory
+
+import (
+	"testing"
+
+	"prism/internal/mem"
+)
+
+// BenchmarkAccess is the home side's per-request directory lookup:
+// one paged-arena index probe plus the tag-cache timing model.
+func BenchmarkAccess(b *testing.B) {
+	d := New(0, mem.DefaultGeometry, DefaultConfig)
+	const pages = 64
+	for i := 0; i < pages; i++ {
+		d.AddPage(mem.GPage{Seg: 1, Page: uint32(i)}, 0)
+	}
+	lpp := mem.DefaultGeometry.LinesPerPage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := mem.GPage{Seg: 1, Page: uint32(i % pages)}
+		if e, _, ok := d.Access(g, i%lpp); !ok || e == nil {
+			b.Fatal("missing directory entry")
+		}
+	}
+}

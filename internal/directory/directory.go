@@ -2,6 +2,14 @@
 // at each page's (dynamic) home node, together with the timing model
 // of the paper's configuration: directory state lives in DRAM fronted
 // by an 8K-entry directory cache with a 2-cycle hit and 22-cycle miss.
+//
+// Host-side, the per-page line arrays are carved out of large slabs
+// (one allocation covers many page-ins) and indexed by a linear-probe
+// hash table over packed global page numbers, so steady-state
+// directory traffic allocates nothing. Removed pages hand their line
+// slice back to the caller (migration moves it to the new home);
+// slices are never recycled into later AddPages, because in-flight
+// protocol continuations may still hold *Line pointers into them.
 package directory
 
 import (
@@ -88,14 +96,30 @@ type key struct {
 	line int
 }
 
+// slabPages is how many pages' line arrays one slab allocation backs.
+const slabPages = 64
+
 // Directory is one node's slice of the global directory: entries for
 // every page whose dynamic home is this node.
 type Directory struct {
-	node  mem.NodeID
-	geom  mem.Geometry
-	cfg   Config
-	pages map[mem.GPage][]Line
-	tc    *tagCache
+	node mem.NodeID
+	geom mem.Geometry
+	cfg  Config
+
+	// Page index: linear-probe open addressing over packed global page
+	// numbers (keys[i] == 0 marks an empty slot; packed keys are offset
+	// by one so the zero page is representable).
+	keys []uint64
+	vals [][]Line
+	n    int
+
+	// Line arena: AddPage carves full-capacity sub-slices off slab.
+	// A slab is dropped once exhausted; carved slices keep its memory
+	// alive only as long as some page references it.
+	slab    []Line
+	slabOff int
+
+	tc *tagCache
 
 	Stats Stats
 }
@@ -106,11 +130,10 @@ func New(node mem.NodeID, geom mem.Geometry, cfg Config) *Directory {
 		panic(fmt.Sprintf("directory: bad cache config %+v", cfg))
 	}
 	return &Directory{
-		node:  node,
-		geom:  geom,
-		cfg:   cfg,
-		pages: make(map[mem.GPage][]Line),
-		tc:    newTagCache(cfg.CacheEntries, cfg.CacheWays),
+		node: node,
+		geom: geom,
+		cfg:  cfg,
+		tc:   newTagCache(cfg.CacheEntries, cfg.CacheWays),
 	}
 }
 
@@ -119,41 +142,49 @@ func New(node mem.NodeID, geom mem.Geometry, cfg Config) *Directory {
 // fine-grain tags at the home initialize to Exclusive). It panics if
 // the page already has entries.
 func (d *Directory) AddPage(g mem.GPage, owner mem.NodeID) []Line {
-	if _, ok := d.pages[g]; ok {
+	if _, ok := d.get(g); ok {
 		panic(fmt.Sprintf("directory: node %d already holds %v", d.node, g))
 	}
-	lines := make([]Line, d.geom.LinesPerPage())
+	lpp := d.geom.LinesPerPage()
+	if d.slabOff+lpp > len(d.slab) {
+		d.slab = make([]Line, slabPages*lpp)
+		d.slabOff = 0
+	}
+	lines := d.slab[d.slabOff : d.slabOff+lpp : d.slabOff+lpp]
+	d.slabOff += lpp
 	for i := range lines {
 		lines[i] = Line{Excl: true, Owner: owner}
 	}
-	d.pages[g] = lines
+	d.put(g, lines)
 	return lines
 }
 
 // AdoptPage installs pre-existing entries for page g (used by lazy
-// migration when the directory moves between nodes).
+// migration when the directory moves between nodes — the slice may
+// come from another node's arena; that only redistributes capacity).
 func (d *Directory) AdoptPage(g mem.GPage, lines []Line) {
-	if _, ok := d.pages[g]; ok {
+	if _, ok := d.get(g); ok {
 		panic(fmt.Sprintf("directory: node %d already holds %v", d.node, g))
 	}
-	d.pages[g] = lines
+	d.put(g, lines)
 }
 
 // RemovePage deletes page g's entries, returning them (nil if absent).
+// Ownership passes to the caller; the slice is never reused by a later
+// AddPage here, so *Line pointers held by in-flight continuations stay
+// valid until the garbage collector sees the last of them.
 func (d *Directory) RemovePage(g mem.GPage) []Line {
-	l := d.pages[g]
-	delete(d.pages, g)
-	return l
+	return d.del(g)
 }
 
 // HasPage reports whether this directory holds entries for g.
 func (d *Directory) HasPage(g mem.GPage) bool {
-	_, ok := d.pages[g]
+	_, ok := d.get(g)
 	return ok
 }
 
 // Pages returns the number of pages with directory state here.
-func (d *Directory) Pages() int { return len(d.pages) }
+func (d *Directory) Pages() int { return d.n }
 
 // ResetStats clears the access counters, following the machine-wide
 // reset contract: measurement counters clear, structural state
@@ -174,7 +205,7 @@ func (d *Directory) Access(g mem.GPage, ln int) (e *Line, cost sim.Time, ok bool
 		d.Stats.CacheMisses++
 		cost = d.cfg.MissTime
 	}
-	lines, present := d.pages[g]
+	lines, present := d.get(g)
 	if !present {
 		return nil, cost, false
 	}
@@ -184,7 +215,7 @@ func (d *Directory) Access(g mem.GPage, ln int) (e *Line, cost sim.Time, ok bool
 // Peek returns the entry without touching the timing model (tests and
 // statistics).
 func (d *Directory) Peek(g mem.GPage, ln int) (*Line, bool) {
-	lines, ok := d.pages[g]
+	lines, ok := d.get(g)
 	if !ok {
 		return nil, false
 	}
@@ -196,7 +227,7 @@ func (d *Directory) Peek(g mem.GPage, ln int) (*Line, bool) {
 // line reverts to shared-at-home (the client flushes dirty data as
 // part of the page-out protocol before this is called).
 func (d *Directory) DropNode(g mem.GPage, n mem.NodeID) {
-	lines, ok := d.pages[g]
+	lines, ok := d.get(g)
 	if !ok {
 		return
 	}
@@ -208,6 +239,118 @@ func (d *Directory) DropNode(g mem.GPage, n mem.NodeID) {
 			l.DropSharer(n)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Page index
+// ---------------------------------------------------------------------------
+
+// pageKey packs a global page into a nonzero probe key.
+func pageKey(g mem.GPage) uint64 {
+	return (uint64(g.Seg)<<32 | uint64(g.Page)) + 1
+}
+
+// pageIndex spreads a packed key over the table (Fibonacci hashing).
+func pageIndex(key, mask uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h & mask
+}
+
+func (d *Directory) get(g mem.GPage) ([]Line, bool) {
+	if d.n == 0 {
+		return nil, false
+	}
+	k := pageKey(g)
+	mask := uint64(len(d.keys) - 1)
+	i := pageIndex(k, mask)
+	for {
+		switch d.keys[i] {
+		case 0:
+			return nil, false
+		case k:
+			return d.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (d *Directory) put(g mem.GPage, lines []Line) {
+	if (d.n+1)*4 > len(d.keys)*3 {
+		d.grow()
+	}
+	d.insert(pageKey(g), lines)
+}
+
+func (d *Directory) insert(k uint64, lines []Line) {
+	mask := uint64(len(d.keys) - 1)
+	i := pageIndex(k, mask)
+	for {
+		switch d.keys[i] {
+		case 0:
+			d.keys[i] = k
+			d.vals[i] = lines
+			d.n++
+			return
+		case k:
+			d.vals[i] = lines
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (d *Directory) grow() {
+	oldK, oldV := d.keys, d.vals
+	n := len(oldK) * 2
+	if n == 0 {
+		n = 64
+	}
+	d.keys = make([]uint64, n)
+	d.vals = make([][]Line, n)
+	d.n = 0
+	for i, k := range oldK {
+		if k != 0 {
+			d.insert(k, oldV[i])
+		}
+	}
+}
+
+// del removes g's binding and returns its value (nil if absent),
+// backward-shifting the probe chain so lookups never need tombstones.
+func (d *Directory) del(g mem.GPage) []Line {
+	if d.n == 0 {
+		return nil
+	}
+	k := pageKey(g)
+	mask := uint64(len(d.keys) - 1)
+	i := pageIndex(k, mask)
+	for d.keys[i] != k {
+		if d.keys[i] == 0 {
+			return nil
+		}
+		i = (i + 1) & mask
+	}
+	out := d.vals[i]
+	d.n--
+	j := i
+	for {
+		j = (j + 1) & mask
+		if d.keys[j] == 0 {
+			break
+		}
+		// The entry at j can fill the hole at i iff its probe path
+		// passes through i.
+		h := pageIndex(d.keys[j], mask)
+		if (j-h)&mask >= (j-i)&mask {
+			d.keys[i] = d.keys[j]
+			d.vals[i] = d.vals[j]
+			i = j
+		}
+	}
+	d.keys[i] = 0
+	d.vals[i] = nil
+	return out
 }
 
 // tagCache models the 8K-entry directory cache: a set-associative tag

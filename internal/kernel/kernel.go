@@ -11,6 +11,7 @@ package kernel
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"prism/internal/coherence"
@@ -19,6 +20,7 @@ import (
 	"prism/internal/metrics"
 	"prism/internal/network"
 	"prism/internal/pit"
+	"prism/internal/pool"
 	"prism/internal/policy"
 	"prism/internal/sim"
 	"prism/internal/timing"
@@ -124,9 +126,12 @@ type frameBinding struct {
 }
 
 type homePage struct {
-	frame  mem.FrameID
-	known  map[mem.NodeID]bool // clients holding a home-page-status flag
-	mapped map[mem.NodeID]bool // clients with the page currently mapped
+	frame mem.FrameID
+	// known and mapped are node bitmasks (bit i = node i, same ≤64-node
+	// convention as pit.Entry.Caps): clients holding a home-page-status
+	// flag, and clients with the page currently mapped.
+	known  uint64
+	mapped uint64
 }
 
 type faultCont func(at sim.Time, f mem.FrameID, ok bool)
@@ -156,7 +161,11 @@ type Kernel struct {
 	pol  policy.Policy
 
 	attach map[mem.VSID]attachInfo
-	pt     map[mem.VPage]PTE
+	// pt is the node page table. It is mutated only through ptSet /
+	// ptDelete, which keep the software TLB coherent; direct reads are
+	// fine (the TLB is a cache, not the truth).
+	pt  map[mem.VPage]PTE
+	tlb softTLB
 
 	freeReal  []mem.FrameID
 	nextReal  mem.FrameID
@@ -188,6 +197,20 @@ type Kernel struct {
 	migratedAway map[mem.GPage]migRecord
 	dynPages     map[mem.GPage]mem.FrameID
 
+	// Free lists for the steady-state paging protocol: frame bindings
+	// and the four paging message types recycle instead of allocating
+	// (released on delivery, mirroring the pooled-event pattern).
+	fbPool         pool.Free[frameBinding]
+	poolPageInReq  pool.Free[PageInReq]
+	poolPageInResp pool.Free[PageInResp]
+	poolUnmapReq   pool.Free[HomeUnmapReq]
+	poolUnmapAck   pool.Free[HomeUnmapAck]
+
+	// Reused scratch buffers (contents valid until the next call of
+	// the method that fills them).
+	clientScratch []mem.NodeID
+	victimScratch []mem.FrameID
+
 	Stats Stats
 
 	// Latency histograms (nil when no registry is attached; Observe
@@ -216,6 +239,7 @@ func New(e *sim.Engine, node mem.NodeID, geom mem.Geometry, tm *timing.T, cfg Co
 		reg: reg, net: net, pol: pol,
 		attach:        make(map[mem.VSID]attachInfo),
 		pt:            make(map[mem.VPage]PTE),
+		tlb:           newSoftTLB(),
 		nextImag:      imagBase,
 		frames:        make(map[mem.FrameID]*frameBinding),
 		pageMode:      make(map[mem.GPage]pit.Mode),
@@ -287,9 +311,51 @@ func (k *Kernel) AttachGlobal(vsid mem.VSID, gsid mem.GSID) error {
 }
 
 // PTE looks up vp in the node page table (the hardware walker's view).
+// A software TLB fronts the map; hits and misses are counted in the
+// "tlb" metrics component. The TLB is kept exactly coherent by ptSet
+// and ptDelete, so the result is always identical to a map lookup.
 func (k *Kernel) PTE(vp mem.VPage) (PTE, bool) {
+	if pte, ok := k.tlb.lookup(vp); ok {
+		return pte, true
+	}
 	e, ok := k.pt[vp]
+	if ok {
+		k.tlb.install(vp, e)
+	}
 	return e, ok
+}
+
+// ptSet installs a page-table mapping and write-allocates it into the
+// software TLB. Every page-table write must go through here.
+func (k *Kernel) ptSet(vp mem.VPage, pte PTE) {
+	k.pt[vp] = pte
+	k.tlb.install(vp, pte)
+}
+
+// ptDelete removes a page-table mapping and shoots the software TLB —
+// the unmap/migrate/mode-change invalidation that keeps stale
+// translations from ever being served. Every page-table delete must go
+// through here.
+func (k *Kernel) ptDelete(vp mem.VPage) {
+	delete(k.pt, vp)
+	k.tlb.invalidate(vp)
+}
+
+// bindFrame records frame f's binding using a pooled frameBinding.
+func (k *Kernel) bindFrame(f mem.FrameID, vp mem.VPage, g mem.GPage, client bool) *frameBinding {
+	fb := k.fbPool.Get()
+	fb.vp, fb.page, fb.client = vp, g, client
+	k.frames[f] = fb
+	return fb
+}
+
+// unbindFrame drops frame f's binding and recycles it. Callers that
+// still need the binding's fields must read them first (Put zeroes).
+func (k *Kernel) unbindFrame(f mem.FrameID) {
+	if fb := k.frames[f]; fb != nil {
+		delete(k.frames, f)
+		k.fbPool.Put(fb)
+	}
 }
 
 // GlobalPage translates a virtual page to its global page, if vp
@@ -417,8 +483,8 @@ func (k *Kernel) HandleFault(vp mem.VPage, done faultCont) {
 		k.Stats.PrivateFaults++
 		f := k.allocReal()
 		k.ctrl.PIT.Insert(f, pit.Entry{Mode: pit.ModeLocal, StaticHome: k.node, DynHome: k.node})
-		k.frames[f] = &frameBinding{vp: vp}
-		k.pt[vp] = PTE{Frame: f, Mode: pit.ModeLocal}
+		k.bindFrame(f, vp, mem.GPage{}, false)
+		k.ptSet(vp, PTE{Frame: f, Mode: pit.ModeLocal})
 		finish(k.e.Now()+k.tm.PFKernelLocal, f, true)
 		return
 	}
@@ -451,7 +517,7 @@ func (k *Kernel) HandleFault(vp mem.VPage, done faultCont) {
 		}
 		if f, ok := k.dynPages[g]; ok {
 			// Adopted dynamic home: the page is already mapped here.
-			k.pt[vp] = PTE{Frame: f, Mode: pit.ModeSCOMA}
+			k.ptSet(vp, PTE{Frame: f, Mode: pit.ModeSCOMA})
 			if fb := k.frames[f]; fb != nil {
 				fb.vp = vp
 			}
@@ -465,7 +531,7 @@ func (k *Kernel) HandleFault(vp mem.VPage, done faultCont) {
 		if k.pageMode[g] == pit.ModeSync {
 			mode = pit.ModeSync
 		}
-		k.pt[vp] = PTE{Frame: f, Mode: mode}
+		k.ptSet(vp, PTE{Frame: f, Mode: mode})
 		finish(k.e.Now()+k.tm.PFKernelLocal, f, true)
 		return
 	}
@@ -474,7 +540,7 @@ func (k *Kernel) HandleFault(vp mem.VPage, done faultCont) {
 	if f, ok := k.dynPages[g]; ok {
 		// This node adopted the page as its dynamic home even though
 		// its static home is elsewhere: map directly.
-		k.pt[vp] = PTE{Frame: f, Mode: pit.ModeSCOMA}
+		k.ptSet(vp, PTE{Frame: f, Mode: pit.ModeSCOMA})
 		if fb := k.frames[f]; fb != nil {
 			fb.vp = vp
 		}
@@ -508,20 +574,12 @@ func (k *Kernel) mapAtHome(g mem.GPage) mem.FrameID {
 		Caps: ^uint64(0), // experiments run fully trusting; the firewall demo narrows this
 	}
 	if mode == pit.ModeSCOMA {
-		tags := make([]pit.Tag, k.geom.LinesPerPage())
-		for i := range tags {
-			tags[i] = pit.TagExclusive
-		}
-		ent.Tags = tags
+		ent.Tags = k.ctrl.PIT.NewTags(pit.TagExclusive)
 	}
 	k.ctrl.PIT.Insert(f, ent)
 	k.ctrl.Dir.AddPage(g, k.node)
-	k.frames[f] = &frameBinding{page: g}
-	k.homePages[g] = &homePage{
-		frame:  f,
-		known:  make(map[mem.NodeID]bool),
-		mapped: make(map[mem.NodeID]bool),
-	}
+	k.bindFrame(f, mem.VPage{}, g, false)
+	k.homePages[g] = &homePage{frame: f}
 	return f
 }
 
@@ -566,13 +624,13 @@ func (k *Kernel) clientFault(vp mem.VPage, g mem.GPage, finish faultCont) {
 			if k.clientSCOMA > k.clientSCOMAHigh {
 				k.clientSCOMAHigh = k.clientSCOMA
 			}
-			k.frames[f] = &frameBinding{vp: vp, page: g, client: true}
+			k.bindFrame(f, vp, g, true)
 		} else {
 			f = k.allocImag()
-			k.frames[f] = &frameBinding{vp: vp, page: g}
+			k.bindFrame(f, vp, g, false)
 		}
 		k.ctrl.PIT.Insert(f, ent) // fine-grain tags initialize Invalid
-		k.pt[vp] = PTE{Frame: f, Mode: dec.Mode}
+		k.ptSet(vp, PTE{Frame: f, Mode: dec.Mode})
 		finish(at, f, true)
 	}
 
@@ -594,7 +652,9 @@ func (k *Kernel) clientFault(vp mem.VPage, g mem.GPage, finish faultCont) {
 		})
 		if first {
 			t := at + k.tm.PFKernelClient
-			k.net.Send(t, k.node, k.reg.StaticHome(g), k.tm.MsgHeader, &PageInReq{Page: g})
+			req := k.poolPageInReq.Get()
+			req.Page = g
+			k.net.Send(t, k.node, k.reg.StaticHome(g), k.tm.MsgHeader, req)
 		}
 	}
 
@@ -633,7 +693,7 @@ func (k *Kernel) pageOutClient(f mem.FrameID, convert bool, done func(at sim.Tim
 	k.pageBusy[g] = nil
 
 	// Stop new accesses: unmap before flushing.
-	delete(k.pt, fb.vp)
+	k.ptDelete(fb.vp)
 	k.hw.TLBShootdown(fb.vp)
 	// A client page-out clears the local flag conservatively only when
 	// converting; otherwise the home keeps us in its known set and the
@@ -652,7 +712,7 @@ func (k *Kernel) pageOutClient(f mem.FrameID, convert bool, done func(at sim.Tim
 		k.ctrl.FlushPage(f, true, func(at sim.Time) {
 			k.dbgPB(g, "pageout-done")
 			ent := k.ctrl.PIT.Remove(f)
-			delete(k.frames, f)
+			k.unbindFrame(f)
 			k.clientSCOMA--
 			k.freeFrame(f, ent)
 			waiters := k.pageBusy[g]
@@ -676,7 +736,7 @@ func (k *Kernel) ReleaseLANUMA(f mem.FrameID, newMode pit.Mode, done func(at sim
 		panic(fmt.Sprintf("kernel: node %d: ReleaseLANUMA of non-imaginary frame %d", k.node, f))
 	}
 	g := fb.page
-	delete(k.pt, fb.vp)
+	k.ptDelete(fb.vp)
 	k.hw.TLBShootdown(fb.vp)
 	k.dbgPB(g, "release-start")
 	k.pageBusy[g] = nil
@@ -688,7 +748,7 @@ func (k *Kernel) ReleaseLANUMA(f mem.FrameID, newMode pit.Mode, done func(at sim
 	k.e.Schedule(k.tm.PageOutKernel, func() {
 		k.ctrl.FlushPage(f, true, func(at sim.Time) {
 			ent := k.ctrl.PIT.Remove(f)
-			delete(k.frames, f)
+			k.unbindFrame(f)
 			k.freeFrame(f, ent)
 			waiters := k.pageBusy[g]
 			delete(k.pageBusy, g)
@@ -711,9 +771,10 @@ func (k *Kernel) ClientSCOMAFrames() int { return k.clientSCOMA }
 func (k *Kernel) PageCacheCap() int { return k.cfg.PageCacheCap }
 
 // victimCandidates returns evictable client S-COMA frames in
-// deterministic order.
+// deterministic order. The returned slice is a reused scratch buffer,
+// valid until the next call.
 func (k *Kernel) victimCandidates() []mem.FrameID {
-	var out []mem.FrameID
+	out := k.victimScratch[:0]
 	for f, fb := range k.frames {
 		if !fb.client || fb.busy {
 			continue
@@ -725,6 +786,7 @@ func (k *Kernel) victimCandidates() []mem.FrameID {
 		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	k.victimScratch = out
 	return out
 }
 
@@ -771,17 +833,22 @@ func (k *Kernel) MostInvalidVictim() (mem.FrameID, bool) {
 // home-page-status flag remains valid until we unmap).
 func (k *Kernel) ClientDropped(g mem.GPage, src mem.NodeID) {
 	if hp, ok := k.homePages[g]; ok {
-		delete(hp.mapped, src)
+		hp.mapped &^= 1 << uint(src)
 	}
 }
 
 // Deliver handles kernel-level (paging) messages. Returns false for
-// message types it does not own.
+// message types it does not own. The four paging message types are
+// released to their pools on delivery: their handlers read the message
+// synchronously and never retain it (any state that outlives the
+// handler is captured by value). Migration messages are not pooled —
+// they are rare and their handlers hold them across retry waits.
 func (k *Kernel) Deliver(src mem.NodeID, msg network.Message) bool {
 	switch m := msg.(type) {
 	case *PageInReq:
 		k.Stats.MsgPageInReq++
 		k.handlePageIn(src, m)
+		k.poolPageInReq.Put(m)
 	case *PageInResp:
 		k.Stats.MsgPageInResp++
 		conts := k.pendingIn[m.Page]
@@ -790,12 +857,15 @@ func (k *Kernel) Deliver(src mem.NodeID, msg network.Message) bool {
 		for _, c := range conts {
 			c(at, m)
 		}
+		k.poolPageInResp.Put(m)
 	case *HomeUnmapReq:
 		k.Stats.MsgUnmapReq++
 		k.handleHomeUnmapReq(src, m)
+		k.poolUnmapReq.Put(m)
 	case *HomeUnmapAck:
 		k.Stats.MsgUnmapAck++
 		k.handleHomeUnmapAck(src, m)
+		k.poolUnmapAck.Put(m)
 	case *MigratePrepMsg:
 		k.Stats.MsgMigratePrep++
 		k.handleMigratePrep(src, m)
@@ -848,6 +918,8 @@ func (k *Kernel) RegisterMetrics(r *metrics.Registry) {
 		v := ct.v
 		r.CounterFunc(nd, "kernel", ct.name, func() uint64 { return *v })
 	}
+	r.CounterFunc(nd, "tlb", "hits", func() uint64 { return k.tlb.Stats.Hits })
+	r.CounterFunc(nd, "tlb", "misses", func() uint64 { return k.tlb.Stats.Misses })
 	r.GaugeFunc(nd, "kernel", "real_frames_in_use", func() float64 { return float64(k.realInUse) })
 	r.GaugeFunc(nd, "kernel", "client_scoma_high", func() float64 { return float64(k.clientSCOMAHigh) })
 	r.GaugeFunc(nd, "kernel", "utilization", func() float64 { return k.Utilization() })
@@ -858,9 +930,13 @@ func (k *Kernel) RegisterMetrics(r *metrics.Registry) {
 // ResetStats clears the kernel's measurement counters and histograms,
 // following the machine-wide reset contract: whole-run frame
 // accounting (allocation totals, utilization accumulators and the
-// client S-COMA high-water mark) persists, as do all mappings.
+// client S-COMA high-water mark) persists, as do all mappings. The
+// software TLB's hit/miss counters clear with the other measurement
+// counters; its contents are structural state (a cache of the page
+// table) and survive, like the page table itself.
 func (k *Kernel) ResetStats() {
 	k.Stats.ResetMeasurement()
+	k.tlb.Stats = TLBStats{}
 	k.histFault.Reset()
 	k.histMigration.Reset()
 }
@@ -873,21 +949,19 @@ func (k *Kernel) handlePageIn(src mem.NodeID, m *PageInReq) {
 	if rec, away := k.migratedAway[m.Page]; away {
 		// The dynamic home moved: it keeps the page in-core by the
 		// migration invariant, so the static home answers directly.
-		k.net.Send(t, k.node, src, k.tm.MsgHeader, &PageInResp{
-			Page: m.Page, HomeFrame: rec.frame, DynHome: rec.node,
-		})
+		resp := k.poolPageInResp.Get()
+		resp.Page, resp.HomeFrame, resp.DynHome = m.Page, rec.frame, rec.node
+		k.net.Send(t, k.node, src, k.tm.MsgHeader, resp)
 		return
 	}
 	f := k.mapAtHome(m.Page)
 	if hp := k.homePages[m.Page]; hp != nil {
-		hp.known[src] = true
-		hp.mapped[src] = true
+		hp.known |= 1 << uint(src)
+		hp.mapped |= 1 << uint(src)
 	}
-	k.net.Send(t, k.node, src, k.tm.MsgHeader, &PageInResp{
-		Page:      m.Page,
-		HomeFrame: f,
-		DynHome:   k.reg.DynamicHome(m.Page),
-	})
+	resp := k.poolPageInResp.Get()
+	resp.Page, resp.HomeFrame, resp.DynHome = m.Page, f, k.reg.DynamicHome(m.Page)
+	k.net.Send(t, k.node, src, k.tm.MsgHeader, resp)
 }
 
 // EvictHomePage pages out page g at its home: every known client is
@@ -909,22 +983,24 @@ func (k *Kernel) EvictHomePage(g mem.GPage, done func(at sim.Time)) error {
 		return fmt.Errorf("kernel: node %d: %v already being unmapped", k.node, g)
 	}
 	k.Stats.HomePageOuts++
-	clients := make([]mem.NodeID, 0, len(hp.known))
-	for n := range hp.known {
-		clients = append(clients, n)
+	// Ascending bit iteration replaces the old map-iterate-then-sort:
+	// same deterministic client order.
+	clients := k.clientScratch[:0]
+	for mask := hp.known; mask != 0; mask &= mask - 1 {
+		clients = append(clients, mem.NodeID(bits.TrailingZeros64(mask)))
 	}
-	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	k.clientScratch = clients
 
 	finish := func(at sim.Time) {
 		// Unmap locally: shoot down local translations, remove PIT,
 		// directory and page table state.
 		if vp, ok := k.vpageOf(g); ok {
-			delete(k.pt, vp)
+			k.ptDelete(vp)
 			k.hw.TLBShootdown(vp)
 		}
 		ent := k.ctrl.PIT.Remove(hp.frame)
 		k.ctrl.Dir.RemovePage(g)
-		delete(k.frames, hp.frame)
+		k.unbindFrame(hp.frame)
 		k.freeFrame(hp.frame, ent)
 		delete(k.homePages, g)
 		done(at + k.tm.PageOutKernel)
@@ -937,7 +1013,9 @@ func (k *Kernel) EvictHomePage(g mem.GPage, done func(at sim.Time)) error {
 	k.unmapWait[g] = &unmapTxn{needAcks: len(clients), done: finish}
 	t := k.e.Now() + k.tm.PageOutKernel
 	for _, c := range clients {
-		k.net.Send(t, k.node, c, k.tm.MsgHeader, &HomeUnmapReq{Page: g})
+		req := k.poolUnmapReq.Get()
+		req.Page = g
+		k.net.Send(t, k.node, c, k.tm.MsgHeader, req)
 	}
 	return nil
 }
@@ -951,7 +1029,9 @@ func (k *Kernel) handleHomeUnmapReq(src mem.NodeID, m *HomeUnmapReq) {
 	delete(k.dynHomeHint, g)
 
 	ack := func(at sim.Time) {
-		k.net.Send(at, k.node, src, k.tm.MsgHeader, &HomeUnmapAck{Page: g})
+		resp := k.poolUnmapAck.Get()
+		resp.Page = g
+		k.net.Send(at, k.node, src, k.tm.MsgHeader, resp)
 	}
 
 	f, ok := k.ctrl.PIT.FrameFor(g)

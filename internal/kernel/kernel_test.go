@@ -15,7 +15,7 @@ import (
 	"prism/internal/timing"
 )
 
-func mkKernel(t *testing.T, frames int) *Kernel {
+func mkKernel(t testing.TB, frames int) *Kernel {
 	t.Helper()
 	e := sim.NewEngine()
 	geom := mem.DefaultGeometry

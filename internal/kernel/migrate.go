@@ -139,7 +139,7 @@ func (k *Kernel) demoteHome(g mem.GPage, to mem.NodeID, lines []directory.Line) 
 	// Unused locally: reclaim the frame (the migration motivation of
 	// §3.5: "if the home node needs to reclaim a page frame...").
 	rent := k.ctrl.PIT.Remove(f)
-	delete(k.frames, f)
+	k.unbindFrame(f)
 	k.freeFrame(f, rent)
 }
 
@@ -195,7 +195,8 @@ func (k *Kernel) promoteHome(g mem.GPage, lines []directory.Line) mem.FrameID {
 			k.homeFrameHint[g] = old
 			return old
 		case pit.ModeLANUMA:
-			// Replace the imaginary frame with a real one.
+			// Replace the imaginary frame with a real one. The old
+			// binding is recycled only after its vp is consumed below.
 			k.ctrl.Local().InvalidateFrameLines(old)
 			rent := k.ctrl.PIT.Remove(old)
 			fb := k.frames[old]
@@ -203,9 +204,10 @@ func (k *Kernel) promoteHome(g mem.GPage, lines []directory.Line) mem.FrameID {
 			k.freeFrame(old, rent)
 			f := k.newHomeFrame(g, lines)
 			if fb != nil {
-				k.pt[fb.vp] = PTE{Frame: f, Mode: pit.ModeSCOMA}
+				k.ptSet(fb.vp, PTE{Frame: f, Mode: pit.ModeSCOMA})
 				k.hw.TLBShootdown(fb.vp)
 				k.frames[f].vp = fb.vp
+				k.fbPool.Put(fb)
 			}
 			return f
 		}
@@ -224,7 +226,7 @@ func (k *Kernel) newHomeFrame(g mem.GPage, lines []directory.Line) mem.FrameID {
 	}
 	k.ctrl.PIT.Insert(f, ent)
 	k.ctrl.SetHomeTags(f, lines)
-	k.frames[f] = &frameBinding{page: g}
+	k.bindFrame(f, mem.VPage{}, g, false)
 	k.dynPages[g] = f
 	k.dynHomeHint[g] = k.node
 	k.homeFrameHint[g] = f

@@ -27,3 +27,18 @@ func TestResetMeasurementContract(t *testing.T) {
 		t.Fatalf("whole-run accounting lost: %+v", s)
 	}
 }
+
+// TestResetKeepsPools asserts that ResetStats only clears measurement
+// counters: recycled capacity in the kernel's free-list pools is
+// structural state and survives, like the page table and the TLB
+// contents (see TestTLBResetContract).
+func TestResetKeepsPools(t *testing.T) {
+	k := mkKernel(t, 4)
+	k.poolPageInReq.Put(k.poolPageInReq.Get())
+	k.fbPool.Put(k.fbPool.Get())
+	k.ResetStats()
+	if k.poolPageInReq.Len() != 1 || k.fbPool.Len() != 1 {
+		t.Fatalf("pooled capacity lost across reset: %d/%d",
+			k.poolPageInReq.Len(), k.fbPool.Len())
+	}
+}

@@ -85,6 +85,11 @@ type Node struct {
 	// like every structure hanging off one engine).
 	freeRetrieve []*retrieveEvent
 
+	// invScratch/invOut are InvalidateFrameLines' reused per-line dirty
+	// bitmap and result buffer (valid until the next call).
+	invScratch []bool
+	invOut     []int
+
 	BusStats BusStats
 }
 
@@ -382,23 +387,32 @@ func (ev *retrieveEvent) OnEvent(now sim.Time) {
 }
 
 // InvalidateFrameLines implements coherence.Local: bulk-invalidate
-// every cached line of frame f, returning the dirty line indexes.
+// every cached line of frame f, returning the dirty line indexes in
+// ascending order. The returned slice is a reused buffer, valid only
+// until the next call on this node (callers consume it immediately:
+// FlushPage folds it into its own scratch, the migration path ignores
+// it).
 func (n *Node) InvalidateFrameLines(f mem.FrameID) []int {
-	dirty := make(map[int]bool)
+	if n.invScratch == nil {
+		n.invScratch = make([]bool, n.geom.LinesPerPage())
+	}
+	ds := n.invScratch
 	for _, q := range n.Procs {
 		for _, pa := range q.l1.InvalidateFrame(n.geom, f) {
-			dirty[pa.Line(n.geom)] = true
+			ds[pa.Line(n.geom)] = true
 		}
 		for _, pa := range q.l2.InvalidateFrame(n.geom, f) {
-			dirty[pa.Line(n.geom)] = true
+			ds[pa.Line(n.geom)] = true
 		}
 	}
-	out := make([]int, 0, len(dirty))
+	out := n.invOut[:0]
 	for ln := 0; ln < n.geom.LinesPerPage(); ln++ {
-		if dirty[ln] {
+		if ds[ln] {
 			out = append(out, ln)
+			ds[ln] = false
 		}
 	}
+	n.invOut = out
 	return out
 }
 

@@ -55,8 +55,8 @@ func TestInsertLookupRemove(t *testing.T) {
 	if p.Len() != 1 {
 		t.Fatalf("len %d", p.Len())
 	}
-	if r := p.Remove(5); r != e {
-		t.Fatal("remove returned wrong entry")
+	if r := p.Remove(5); r == nil || r.GPage != g || r.Mode != ModeSCOMA || len(r.Tags) != 64 {
+		t.Fatalf("remove returned wrong entry: %+v", r)
 	}
 	if _, ok := p.FrameFor(g); ok {
 		t.Fatal("reverse map not cleaned")

@@ -1,0 +1,49 @@
+package pool
+
+import "testing"
+
+type msg struct {
+	a, b int
+	refs []int
+}
+
+// TestGetIsAlwaysZero pins the determinism contract: a recycled object
+// must be indistinguishable from a fresh one.
+func TestGetIsAlwaysZero(t *testing.T) {
+	var p Free[msg]
+	m := p.Get()
+	m.a, m.b, m.refs = 1, 2, []int{3}
+	p.Put(m)
+	if p.Len() != 1 {
+		t.Fatalf("pool length %d, want 1", p.Len())
+	}
+	m2 := p.Get()
+	if m2 != m {
+		t.Fatal("pooled object not reused")
+	}
+	if m2.a != 0 || m2.b != 0 || m2.refs != nil {
+		t.Fatalf("recycled object not zeroed: %+v", m2)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("pool length %d after Get, want 0", p.Len())
+	}
+}
+
+func TestGetAllocatesWhenEmpty(t *testing.T) {
+	var p Free[msg]
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("empty pool returned the same object twice")
+	}
+}
+
+// BenchmarkGetPut is the steady-state cycle: it must not allocate.
+func BenchmarkGetPut(b *testing.B) {
+	var p Free[msg]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := p.Get()
+		m.a = i
+		p.Put(m)
+	}
+}
