@@ -7,6 +7,7 @@
 //	prismbench -exp pit                    # §4.3 PIT study
 //	prismbench -exp all -size ci
 //	prismbench -exp fig7 -size ci -verify results_ci.csv   # regression gate
+//	prismbench -exp fig7 -size ci -faults seed=42,drop=0.02  # lossy fabric
 //
 // Figure 7 and Tables 3-5 come from the same six-policy sweep, which
 // is run once per invocation when any of them is requested. Sweep
@@ -25,19 +26,20 @@ import (
 	"time"
 
 	"prism/internal/harness"
-	"prism/workloads"
 )
 
 func main() {
+	var cli harness.CLI
 	exp := flag.String("exp", "all", "experiments: table1,table2,fig7,table3,table4,table5,pit,all")
-	sizeFlag := flag.String("size", "ci", "data-set size: mini|ci|paper")
+	cli.RegisterSize(flag.CommandLine, "ci")
 	apps := flag.String("apps", "", "comma-separated app subset (default all eight)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	csvPath := flag.String("csv", "", "also write the sweep's raw per-run results as CSV")
-	jobs := flag.Int("j", 0, "max concurrent runs (0 = all host cores)")
-	seq := flag.Bool("seq", false, "force the sequential sweep path (same as -j 1)")
+	cli.RegisterParallel(flag.CommandLine)
 	verify := flag.String("verify", "", "compare the sweep's CSV against this reference file and fail on divergence")
-	metricsDir := flag.String("metrics", "", "write each sweep cell's telemetry export to this directory (<app>_<policy>.json; analyze with prismstat)")
+	cli.RegisterMetrics(flag.CommandLine)
+	cli.RegisterSample(flag.CommandLine)
+	cli.RegisterFaults(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	bench := flag.String("bench", "", "run in-process microbenchmarks: comma list or 'all' ("+strings.Join(benchNames(), ",")+")")
@@ -74,7 +76,11 @@ func main() {
 		}()
 	}
 
-	size, err := parseSize(*sizeFlag)
+	size, err := cli.Size()
+	if err != nil {
+		fatal(err)
+	}
+	faults, err := cli.FaultPlan()
 	if err != nil {
 		fatal(err)
 	}
@@ -89,9 +95,12 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Size: size, Workers: *jobs, MetricsDir: *metricsDir}
-	if *seq {
-		opts.Workers = 1
+	opts := harness.Options{
+		Size:        size,
+		Workers:     cli.Workers(),
+		MetricsDir:  cli.MetricsDir,
+		SampleEvery: cli.SampleEvery(),
+		Faults:      faults,
 	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
@@ -122,7 +131,7 @@ func main() {
 			fatal(err)
 		}
 		sweep = &SweepTiming{
-			Exp: *exp, Size: *sizeFlag, Jobs: opts.Workers,
+			Exp: *exp, Size: cli.SizeName, Jobs: opts.Workers,
 			WallMS: time.Since(start).Milliseconds(),
 		}
 		if *csvPath != "" {
@@ -190,18 +199,6 @@ func main() {
 	} else if *benchJSON != "" || *benchCheck != "" {
 		fatal(fmt.Errorf("-benchjson/-benchcheck need -bench"))
 	}
-}
-
-func parseSize(s string) (workloads.Size, error) {
-	switch s {
-	case "mini":
-		return workloads.MiniSize, nil
-	case "ci":
-		return workloads.CISize, nil
-	case "paper":
-		return workloads.PaperSize, nil
-	}
-	return 0, fmt.Errorf("unknown size %q (mini|ci|paper)", s)
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //
 //	prismsim -app fft -policy Dyn-LRU -size ci [-cap-frac 0.7] [-pit 2]
 //	prismsim -app fft,ocean -policy SCOMA,Dyn-LRU -size ci -j 8
+//	prismsim -app fft -policy SCOMA -faults seed=42,drop=0.02,dup=0.01
 //
 // Capped policies (SCOMA-70, Dyn-*) automatically run a SCOMA sizing
 // pass first, exactly like the paper's methodology. With comma-
@@ -13,6 +14,11 @@
 // workers (default: all host cores; -seq forces one at a time); every
 // cell owns a private machine, so the printed results are identical at
 // any -j, in app-major, policy-minor order.
+//
+// -faults makes the interconnect lossy under a seeded deterministic
+// schedule; the network's recovery transport (timeouts, retransmission,
+// duplicate suppression) repairs the damage, so runs still terminate
+// with the usual results. The sizing pass runs on the same lossy fabric.
 package main
 
 import (
@@ -23,31 +29,37 @@ import (
 	"strings"
 
 	"prism"
+	"prism/internal/fault"
 	"prism/internal/harness"
 	"prism/internal/sim"
 	"prism/workloads"
 )
 
 func main() {
+	var cli harness.CLI
 	app := flag.String("app", "fft", "application (comma-separated list allowed): barnes|fft|lu|mp3d|ocean|radix|water-nsq|water-spa")
 	pol := flag.String("policy", "SCOMA", "policy (comma-separated list allowed): SCOMA|LANUMA|SCOMA-70|Dyn-FCFS|Dyn-Util|Dyn-LRU")
-	sizeFlag := flag.String("size", "ci", "data-set size: mini|ci|paper")
+	cli.RegisterSize(flag.CommandLine, "ci")
 	capFrac := flag.Float64("cap-frac", 0.70, "page-cache fraction of SCOMA max (capped policies)")
 	pit := flag.Uint64("pit", 0, "PIT access time override in cycles (0 = default 2)")
-	jobs := flag.Int("j", 0, "max concurrent runs for multi-cell invocations (0 = all host cores)")
-	seq := flag.Bool("seq", false, "force sequential execution (same as -j 1)")
-	metricsDir := flag.String("metrics", "", "write each run's telemetry export to this directory (<app>_<policy>.json; analyze with prismstat)")
-	sample := flag.Uint64("sample", 0, "also record interval snapshots every N cycles in the export (single-run mode only; 0 = final snapshot only)")
+	cli.RegisterParallel(flag.CommandLine)
+	cli.RegisterMetrics(flag.CommandLine)
+	cli.RegisterSample(flag.CommandLine)
+	cli.RegisterFaults(flag.CommandLine)
 	flag.Parse()
 
-	size, err := parseSize(*sizeFlag)
+	size, err := cli.Size()
+	if err != nil {
+		fatal(err)
+	}
+	faults, err := cli.FaultPlan()
 	if err != nil {
 		fatal(err)
 	}
 	apps := strings.Split(*app, ",")
 	pols := strings.Split(*pol, ",")
 	if len(apps) > 1 || len(pols) > 1 {
-		runSweep(apps, pols, size, *capFrac, *pit, *jobs, *seq, *metricsDir)
+		runSweep(apps, pols, size, *capFrac, *pit, &cli, faults)
 		return
 	}
 
@@ -59,7 +71,7 @@ func main() {
 	var caps []int
 	if needsCap(policy.Name()) {
 		fmt.Fprintf(os.Stderr, "sizing pass (SCOMA)...\n")
-		res, err := runOnce(*app, "SCOMA", size, nil, *pit, "", 0)
+		res, err := runOnce(*app, "SCOMA", size, nil, *pit, faults, "", 0)
 		if err != nil {
 			fatal(err)
 		}
@@ -73,7 +85,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "page-cache caps per node: %v\n", caps)
 	}
 
-	res, err := runOnce(*app, policy.Name(), size, caps, *pit, *metricsDir, sim.Time(*sample))
+	res, err := runOnce(*app, policy.Name(), size, caps, *pit, faults, cli.MetricsDir, cli.SampleEvery())
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +95,7 @@ func main() {
 // runSweep executes an app × policy grid through the harness worker
 // pool (the SCOMA sizing pass runs per app, as always) and prints the
 // requested cells in deterministic order.
-func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uint64, jobs int, seq bool, metricsDir string) {
+func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uint64, cli *harness.CLI, faults *fault.Plan) {
 	for _, p := range pols {
 		if _, err := prism.PolicyByName(p); err != nil {
 			fatal(err)
@@ -96,11 +108,10 @@ func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uin
 		CapFraction: capFrac,
 		PITAccess:   sim.Time(pit),
 		Log:         os.Stderr,
-		Workers:     jobs,
-		MetricsDir:  metricsDir,
-	}
-	if seq {
-		opts.Workers = 1
+		Workers:     cli.Workers(),
+		MetricsDir:  cli.MetricsDir,
+		SampleEvery: cli.SampleEvery(),
+		Faults:      faults,
 	}
 	runs, err := harness.Run(opts)
 	if err != nil {
@@ -117,7 +128,7 @@ func runSweep(apps, pols []string, size workloads.Size, capFrac float64, pit uin
 	}
 }
 
-func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, metricsDir string, sample sim.Time) (prism.Results, error) {
+func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, faults *fault.Plan, metricsDir string, sample sim.Time) (prism.Results, error) {
 	cfg := workloads.ConfigForSize(size)
 	p, err := prism.PolicyByName(polName)
 	if err != nil {
@@ -128,6 +139,7 @@ func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, m
 	if pit != 0 {
 		cfg.Node.PITConfig.AccessTime = sim.Time(pit)
 	}
+	cfg.Faults = faults
 	m, err := prism.New(cfg)
 	if err != nil {
 		return prism.Results{}, err
@@ -158,18 +170,6 @@ func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, m
 
 func needsCap(pol string) bool {
 	return pol != "SCOMA" && pol != "LANUMA"
-}
-
-func parseSize(s string) (workloads.Size, error) {
-	switch s {
-	case "mini":
-		return workloads.MiniSize, nil
-	case "ci":
-		return workloads.CISize, nil
-	case "paper":
-		return workloads.PaperSize, nil
-	}
-	return 0, fmt.Errorf("unknown size %q (mini|ci|paper)", s)
 }
 
 func fatal(err error) {

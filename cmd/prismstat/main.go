@@ -17,12 +17,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"prism/internal/harness"
 	"prism/internal/metrics"
 )
 
@@ -88,8 +88,7 @@ func runCSV(args []string, stdout, stderr io.Writer) int {
 }
 
 func runDiff(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := harness.NewFlagSet("diff", stderr)
 	only := fs.String("only", "", "comma-separated component (or component/name-prefix) filters")
 	all := fs.Bool("all", false, "also list unchanged metrics")
 	failOnDelta := fs.Bool("fail", false, "exit nonzero if any compared metric differs")

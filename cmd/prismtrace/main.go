@@ -10,12 +10,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"prism"
+	"prism/internal/harness"
 	"prism/internal/trace"
 	"prism/workloads"
 )
@@ -30,21 +30,26 @@ func main() {
 // run is the testable entry point: the simulation is deterministic,
 // so identical arguments produce identical output on stdout.
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("prismtrace", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	var cli harness.CLI
+	fs := harness.NewFlagSet("prismtrace", stderr)
 	app := fs.String("app", "fft", "application (or 'synth')")
-	sizeFlag := fs.String("size", "mini", "mini|ci|paper")
+	cli.RegisterSize(fs, "mini")
 	pol := fs.String("policy", "SCOMA", "page-mode policy")
 	top := fs.Int("top", 16, "hottest pages to print")
 	csv := fs.String("csv", "", "write per-page profile CSV to this file")
 	ops := fs.Int("ops", 2000, "synth: shared ops per iteration")
 	writes := fs.Int("writes", 30, "synth: store percentage")
 	random := fs.Int("random", 25, "synth: hot-set percentage")
+	cli.RegisterFaults(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	size, err := parseSize(*sizeFlag)
+	size, err := cli.Size()
+	if err != nil {
+		return err
+	}
+	faults, err := cli.FaultPlan()
 	if err != nil {
 		return err
 	}
@@ -68,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfg.Policy = p
+	cfg.Faults = faults
 	m, err := prism.New(cfg)
 	if err != nil {
 		return err
@@ -96,16 +102,4 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "wrote %s\n", *csv)
 	}
 	return nil
-}
-
-func parseSize(s string) (workloads.Size, error) {
-	switch s {
-	case "mini":
-		return workloads.MiniSize, nil
-	case "ci":
-		return workloads.CISize, nil
-	case "paper":
-		return workloads.PaperSize, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }

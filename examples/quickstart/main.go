@@ -15,15 +15,13 @@ import (
 
 func main() {
 	// A machine scaled for the CI-sized data sets (quarter-scale
-	// caches keep the capacity trade-off of §4.1 in play).
-	cfg := workloads.ConfigForSize(workloads.CISize)
-	cfg.Policy = prism.MustPolicy("Dyn-LRU")
+	// caches keep the capacity trade-off of §4.1 in play). The sized
+	// Config seeds prism.New; functional options layer on top of it.
+	base := workloads.ConfigForSize(workloads.CISize)
 
 	// Capped policies size the page cache from a SCOMA pass, as the
 	// paper does: 70% of the per-node maximum client frame count.
-	sizing := cfg
-	sizing.Policy = prism.MustPolicy("SCOMA")
-	m0, err := prism.New(sizing)
+	m0, err := prism.New(base, prism.WithPolicy("SCOMA"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,9 +35,11 @@ func main() {
 			caps[i] = 1
 		}
 	}
-	cfg.PageCacheCaps = caps
 
-	m, err := prism.New(cfg)
+	m, err := prism.New(base,
+		prism.WithPolicy("Dyn-LRU"),
+		prism.WithPageCacheCaps(caps),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,24 @@
+package coherence
+
+import "prism/internal/fault"
+
+// Fault classification of the coherence protocol's wire messages, used by
+// internal/fault to select per-class drop/dup/delay rates and by
+// internal/network to account recovery work per class. Classes follow
+// protocol roles: requests stall a waiting transaction when lost, responses
+// unblock one, acks release home-side line locks, invalidations and
+// writebacks mutate remote state.
+
+func (*GetMsg) FaultClass() fault.Class        { return fault.ClassRequest }
+func (*DataMsg) FaultClass() fault.Class       { return fault.ClassResponse }
+func (*GrantAckMsg) FaultClass() fault.Class   { return fault.ClassAck }
+func (*InvMsg) FaultClass() fault.Class        { return fault.ClassInval }
+func (*InvAckMsg) FaultClass() fault.Class     { return fault.ClassAck }
+func (*RecallMsg) FaultClass() fault.Class     { return fault.ClassInval }
+func (*RecallRespMsg) FaultClass() fault.Class { return fault.ClassAck }
+func (*WBMsg) FaultClass() fault.Class         { return fault.ClassWriteback }
+func (*FlushMsg) FaultClass() fault.Class      { return fault.ClassWriteback }
+func (*FlushAckMsg) FaultClass() fault.Class   { return fault.ClassAck }
+func (*LockReqMsg) FaultClass() fault.Class    { return fault.ClassLock }
+func (*LockGrantMsg) FaultClass() fault.Class  { return fault.ClassLock }
+func (*UnlockMsg) FaultClass() fault.Class     { return fault.ClassLock }

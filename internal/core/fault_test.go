@@ -1,0 +1,216 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"prism/internal/fault"
+	"prism/internal/policy"
+)
+
+// lossyConfig is testConfig under enough cache pressure to exercise
+// every protocol flow, matching the fuzz tests.
+func lossyConfig(pol policy.Policy, hwSync bool) Config {
+	cfg := testConfig()
+	cfg.Node.L1.Size = 1 << 10
+	cfg.Node.L2.Size = 2 << 10
+	cfg.Policy = pol
+	if pol.Name() != "SCOMA" && pol.Name() != "LANUMA" {
+		cfg.PageCacheCaps = []int{3, 3, 3, 3}
+	}
+	cfg.HardwareSync = hwSync
+	return cfg
+}
+
+func runChaosOnce(t *testing.T, cfg Config, seed int64) (*Machine, Results) {
+	t.Helper()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(&chaosWL{seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+// TestChaosLossyFabric is the chaos sweep over a misbehaving fabric: with
+// drop/dup/delay rates up to 10% on every message class, every run must
+// still terminate, complete the same workload references as the fault-free
+// run, quiesce the transport, and pass the global invariant audit.
+func TestChaosLossyFabric(t *testing.T) {
+	plans := []struct {
+		name  string
+		rates fault.Rates
+	}{
+		{"drop5", fault.Rates{Drop: 0.05}},
+		{"dup5", fault.Rates{Dup: 0.05}},
+		{"delay10", fault.Rates{Delay: 0.1, DelayMax: 2000}},
+		{"storm10", fault.Rates{Drop: 0.1, Dup: 0.1, Delay: 0.1, DelayMax: 1000}},
+	}
+	pols := []policy.Policy{policy.SCOMA{}, policy.SCOMA70{}, policy.DynLRU{}}
+	seeds := []int64{1, 42}
+	if testing.Short() {
+		pols = pols[:1]
+		seeds = seeds[:1]
+	}
+	for _, pc := range plans {
+		for _, pol := range pols {
+			for _, seed := range seeds {
+				hwSync := seed%2 == 0
+				t.Run(pc.name+"/"+pol.Name(), func(t *testing.T) {
+					clean := lossyConfig(pol, hwSync)
+					_, want := runChaosOnce(t, clean, seed)
+
+					cfg := lossyConfig(pol, hwSync)
+					cfg.Faults = &fault.Plan{Seed: seed, Default: pc.rates}
+					m, res := runChaosOnce(t, cfg, seed)
+
+					// With hardware sync the reference stream is timing-
+					// independent and must match the fault-free run
+					// exactly. Software locks spin (test-and-set retries
+					// depend on arrival timing), so those runs may differ
+					// by the handful of extra spin probes — bound it.
+					if hwSync {
+						if res.Refs != want.Refs {
+							t.Fatalf("lossy run completed %d refs, fault-free %d", res.Refs, want.Refs)
+						}
+					} else {
+						diff := int64(res.Refs) - int64(want.Refs)
+						if diff < 0 {
+							diff = -diff
+						}
+						if diff*100 > int64(want.Refs) {
+							t.Fatalf("lossy run refs %d deviate >1%% from fault-free %d", res.Refs, want.Refs)
+						}
+					}
+					// The plan must actually have perturbed the fabric.
+					fs := m.Net.FaultStats()
+					var injected uint64
+					for c := 0; c < fault.NumClasses; c++ {
+						injected += fs.Dropped[c] + fs.Duped[c] + fs.Delayed[c]
+					}
+					if injected == 0 {
+						t.Fatal("fault plan injected nothing")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosFaultRateZeroIdentical is the zero-perturbation gate: a fault
+// plan with all rates zero must leave the network on its fault-free fast
+// path and produce bit-identical Results.
+func TestChaosFaultRateZeroIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		cfg := lossyConfig(policy.DynLRU{}, true)
+		_, want := runChaosOnce(t, cfg, seed)
+
+		cfg = lossyConfig(policy.DynLRU{}, true)
+		cfg.Faults = &fault.Plan{Seed: 12345} // active seed, inert rates
+		m, got := runChaosOnce(t, cfg, seed)
+
+		if m.Net.FaultsEnabled() {
+			t.Fatal("inert plan armed the recovery transport")
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: rate-0 results differ:\n got %+v\nwant %+v", seed, got, want)
+		}
+	}
+}
+
+// TestChaosDeterministicUnderFaults: identical lossy configs produce
+// identical Results, cycle for cycle.
+func TestChaosDeterministicUnderFaults(t *testing.T) {
+	run := func() Results {
+		cfg := lossyConfig(policy.SCOMA70{}, true)
+		cfg.Faults = &fault.Plan{
+			Seed:    7,
+			Default: fault.Rates{Drop: 0.05, Dup: 0.05, Delay: 0.1, DelayMax: 500},
+		}
+		_, res := runChaosOnce(t, cfg, 42)
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("lossy runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestDuplicateSuppressionGolden duplicates every fill (DataMsg), lock
+// grant/request, and page-in reply on the wire and proves each duplicate is
+// dropped exactly once — the protocol layers never see it (invariants and
+// workload completion match the clean run) and the counters record every
+// suppression, both on the transport and through the metrics registry.
+func TestDuplicateSuppressionGolden(t *testing.T) {
+	clean := lossyConfig(policy.SCOMA{}, true)
+	_, want := runChaosOnce(t, clean, 42)
+
+	cfg := lossyConfig(policy.SCOMA{}, true)
+	cfg.Faults = &fault.Plan{
+		Seed: 1,
+		PerClass: map[fault.Class]fault.Rates{
+			fault.ClassResponse: {Dup: 1}, // every DataMsg fill/grant reply
+			fault.ClassLock:     {Dup: 1}, // every LockReq/LockGrant/Unlock
+			fault.ClassPaging:   {Dup: 1}, // every PageInReq/PageInResp
+		},
+	}
+	m, res := runChaosOnce(t, cfg, 42)
+	if res.Refs != want.Refs {
+		t.Fatalf("duplicated run completed %d refs, clean %d", res.Refs, want.Refs)
+	}
+
+	fs, ts := m.Net.FaultStats(), m.Net.TransportStats()
+	for _, cl := range []fault.Class{fault.ClassResponse, fault.ClassLock, fault.ClassPaging} {
+		if fs.Duped[cl] == 0 {
+			t.Fatalf("no %s messages were duplicated — workload did not exercise the class", cl)
+		}
+		// Exactly once: every injected duplicate was suppressed, and
+		// nothing else was (no retransmissions happen in this plan, so
+		// suppressed == injected precisely).
+		if ts.DupSuppressed[cl] != fs.Duped[cl] {
+			t.Fatalf("%s: %d duplicates injected but %d suppressed",
+				cl, fs.Duped[cl], ts.DupSuppressed[cl])
+		}
+		if ts.Retransmits[cl] != 0 {
+			t.Fatalf("%s: unexpected retransmits %d", cl, ts.Retransmits[cl])
+		}
+	}
+
+	// The suppression counters are visible through the telemetry registry.
+	found := map[string]uint64{}
+	for _, p := range m.Metrics.Snapshot() {
+		if p.Component == "fault" {
+			found[p.Name] = p.Value
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("no fault metrics registered on a lossy run")
+	}
+	for _, cl := range []fault.Class{fault.ClassResponse, fault.ClassLock, fault.ClassPaging} {
+		name := cl.String() + "_dup_suppressed"
+		if found[name] != ts.DupSuppressed[cl] {
+			t.Fatalf("metric %s = %d, transport counted %d", name, found[name], ts.DupSuppressed[cl])
+		}
+	}
+}
+
+// TestFaultMetricsAbsentWhenClean: fault-free machines must not register
+// fault instruments, keeping metrics exports byte-identical to pre-fault
+// builds.
+func TestFaultMetricsAbsentWhenClean(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Metrics.Snapshot() {
+		if p.Component == "fault" {
+			t.Fatalf("fault metric %q registered on a fault-free machine", p.Name)
+		}
+	}
+}

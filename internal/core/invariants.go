@@ -15,6 +15,12 @@ import (
 // every scenario; it is also available to users chasing protocol bugs
 // in extended configurations.
 func (m *Machine) CheckInvariants() error {
+	// 0. The recovery transport (if armed) must have quiesced: every
+	// transmission acked, no out-of-order arrivals still buffered.
+	if err := m.Net.CheckQuiesced(); err != nil {
+		return err
+	}
+
 	// 1. No dangling transactions anywhere, and no kernel serving a
 	// stale software-TLB translation.
 	for _, n := range m.Nodes {

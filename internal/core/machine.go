@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"prism/internal/coherence"
+	"prism/internal/fault"
 	"prism/internal/ipc"
 	"prism/internal/kernel"
 	"prism/internal/mem"
@@ -38,6 +39,13 @@ type Config struct {
 	// (§3.2's synchronization-page frame mode): queue locks at the
 	// home controller instead of test-and-set over coherent lines.
 	HardwareSync bool
+	// Faults optionally makes the interconnect lossy: a seeded,
+	// deterministic plan of per-class drop/duplicate/delay faults plus
+	// the timeout/retry/backoff tuning of the recovery transport
+	// (internal/fault, internal/network). nil — or a plan with all
+	// rates zero and nothing scripted — leaves the fabric perfect and
+	// the results byte-identical to builds without fault injection.
+	Faults *fault.Plan
 }
 
 // DefaultConfig is the paper's 32-processor machine: 8 nodes × 4 CPUs,
@@ -80,6 +88,21 @@ func (c *Config) Validate() error {
 	}
 	if c.PageCacheCaps != nil && len(c.PageCacheCaps) != c.Nodes {
 		return fmt.Errorf("core: PageCacheCaps has %d entries for %d nodes", len(c.PageCacheCaps), c.Nodes)
+	}
+	if c.Net.Latency == 0 {
+		return fmt.Errorf("core: network latency must be positive")
+	}
+	if c.Net.LinkBytes < 0 {
+		return fmt.Errorf("core: network LinkBytes %d is negative", c.Net.LinkBytes)
+	}
+	if c.Timing.MsgHeader <= 0 {
+		return fmt.Errorf("core: timing MsgHeader %d must be positive (it sizes every control message)", c.Timing.MsgHeader)
+	}
+	if c.Timing.LineBytes <= 0 {
+		return fmt.Errorf("core: timing LineBytes %d must be positive (it sizes every data payload)", c.Timing.LineBytes)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -134,6 +157,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.E = sim.NewEngine()
 	m.Metrics = metrics.NewRegistry()
 	m.Net = network.New(m.E, cfg.Nodes, cfg.Net)
+	m.Net.EnableFaults(cfg.Faults)
 	m.Reg = ipc.NewRegistry(cfg.Geometry, cfg.Nodes)
 
 	// One machine = one engine = one goroutine, so every controller can

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"prism/internal/fault"
 	"prism/internal/mem"
 	"prism/internal/policy"
 	"prism/internal/sim"
@@ -177,6 +178,41 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 	cfg.Node.L1.Size = 3000
 	if _, err := NewMachine(cfg); err == nil {
 		t.Error("accepted invalid L1 geometry")
+	}
+	cfg = testConfig()
+	cfg.Net.Latency = 0
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted zero network latency")
+	}
+	cfg = testConfig()
+	cfg.Net.LinkBytes = -8
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted negative LinkBytes")
+	}
+	cfg = testConfig()
+	cfg.Timing.MsgHeader = 0
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted zero MsgHeader")
+	}
+	cfg = testConfig()
+	cfg.Timing.LineBytes = -1
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted negative LineBytes")
+	}
+	cfg = testConfig()
+	cfg.Faults = &fault.Plan{Default: fault.Rates{Drop: 1.7}}
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted out-of-range fault drop rate")
+	}
+	cfg = testConfig()
+	cfg.Faults = &fault.Plan{Default: fault.Rates{Dup: -0.2}}
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("accepted negative fault dup rate")
+	}
+	cfg = testConfig()
+	cfg.Faults = &fault.Plan{Seed: 3, Default: fault.Rates{Drop: 0.05}}
+	if _, err := NewMachine(cfg); err != nil {
+		t.Errorf("rejected valid fault plan: %v", err)
 	}
 }
 

@@ -1,0 +1,35 @@
+package core
+
+// Option configures a machine under construction. Options are applied in
+// order to a DefaultConfig; the public prism package provides the
+// functional constructors (prism.WithNodes, prism.WithPolicy, ...).
+type Option interface {
+	ApplyOption(*Config) error
+}
+
+// ApplyOption makes Config itself an Option: applying a complete Config
+// replaces the configuration wholesale. This is what keeps the legacy
+// construction form — build a Config, pass it to New — compiling against
+// the variadic constructor, and it composes: a Config can seed the
+// configuration with later options layered on top,
+//
+//	core.New(workloads.ConfigForSize(sz), moreOptions...)
+func (c Config) ApplyOption(dst *Config) error {
+	*dst = c
+	return nil
+}
+
+// New builds a machine from DefaultConfig with opts applied in order.
+// Nil options are ignored.
+func New(opts ...Option) (*Machine, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o.ApplyOption(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return NewMachine(cfg)
+}

@@ -1,0 +1,404 @@
+// Package fault provides deterministic fault injection for the PRISM
+// interconnect model.
+//
+// A Plan describes what the fabric does wrong: per-message-class drop,
+// duplicate, and extra-delay probabilities, plus scripted one-shot faults
+// ("drop the 3rd coherence request sent by node 2"). An Injector evaluates a
+// Plan deterministically: every decision is a pure hash of (seed, class,
+// per-class transmission ordinal), so a given plan produces the same fault
+// schedule on every run regardless of goroutine scheduling, map iteration
+// order, or unrelated traffic — the property the chaos tests rely on.
+//
+// The package is a leaf: it knows nothing about the coherence or kernel
+// protocols. Messages opt into classification by implementing Classed;
+// everything else falls into ClassOther. Injection happens at the single
+// network send/deliver choke point (see internal/network), so the layers
+// above are exercised unmodified.
+package fault
+
+import (
+	"fmt"
+
+	"prism/internal/sim"
+)
+
+// Class buckets wire messages for fault-rate selection and accounting.
+// Classes deliberately follow protocol roles rather than concrete Go types:
+// a plan that says "drop 5% of responses" should cover every message whose
+// loss stalls a waiting transaction.
+type Class uint8
+
+const (
+	// ClassOther is the default for messages with no FaultClass method.
+	ClassOther Class = iota
+	// ClassRequest covers coherence line requests (GETS/GETX/upgrades).
+	ClassRequest
+	// ClassResponse covers coherence data/grant replies.
+	ClassResponse
+	// ClassAck covers protocol acknowledgements (grant-ack, inv-ack,
+	// recall/flush responses, unmap acks).
+	ClassAck
+	// ClassInval covers home-initiated invalidations and recalls.
+	ClassInval
+	// ClassWriteback covers fire-and-forget writebacks and flushes.
+	ClassWriteback
+	// ClassLock covers hardware Sync-page lock traffic.
+	ClassLock
+	// ClassPaging covers kernel external-paging requests and replies.
+	ClassPaging
+	// ClassMigrate covers lazy page-migration traffic.
+	ClassMigrate
+	// ClassTransport covers the recovery layer's own delivery
+	// acknowledgements (internal/network transport acks).
+	ClassTransport
+
+	// NumClasses is the number of distinct fault classes.
+	NumClasses = int(ClassTransport) + 1
+)
+
+var classNames = [NumClasses]string{
+	"other", "request", "response", "ack", "inval",
+	"writeback", "lock", "paging", "migrate", "transport",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassByName resolves a class name as used in -faults specs and metrics.
+func ClassByName(name string) (Class, bool) {
+	for i, n := range classNames {
+		if n == name {
+			return Class(i), true
+		}
+	}
+	return 0, false
+}
+
+// Classed is implemented by wire messages that declare their fault class.
+type Classed interface{ FaultClass() Class }
+
+// ClassOf classifies an arbitrary wire message.
+func ClassOf(msg any) Class {
+	if c, ok := msg.(Classed); ok {
+		return c.FaultClass()
+	}
+	return ClassOther
+}
+
+// Rates holds the independent per-transmission fault probabilities for one
+// class. All probabilities are in [0,1]. Drop wins over Dup: a transmission
+// selected for both is simply dropped. Delay adds a uniform extra latency in
+// [1, DelayMax] cycles to the delivery (and applies independently to an
+// injected duplicate).
+type Rates struct {
+	Drop  float64
+	Dup   float64
+	Delay float64
+	// DelayMax bounds the injected extra delay. Zero with Delay > 0 means
+	// DefaultDelayMax.
+	DelayMax sim.Time
+}
+
+func (r Rates) zero() bool { return r.Drop == 0 && r.Dup == 0 && r.Delay == 0 }
+
+func (r Rates) validate(who string) error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 || p != p { // p != p catches NaN
+			return fmt.Errorf("fault: %s %s rate %v out of range [0,1]", who, name, p)
+		}
+		return nil
+	}
+	if err := check("drop", r.Drop); err != nil {
+		return err
+	}
+	if err := check("dup", r.Dup); err != nil {
+		return err
+	}
+	return check("delay", r.Delay)
+}
+
+// OneShot is a scripted fault that fires on the Nth wire transmission
+// matching (Class, Src, Dst). Src/Dst of AnyNode match every node. N is
+// 1-based and counts matching transmissions, including retransmissions.
+type OneShot struct {
+	Class Class
+	Src   int // sending node, or AnyNode
+	Dst   int // destination node, or AnyNode
+	N     uint64
+
+	Drop  bool
+	Dup   bool
+	Delay sim.Time
+}
+
+// AnyNode in OneShot.Src/Dst matches all nodes.
+const AnyNode = -1
+
+// Defaults for the recovery-layer knobs. RTO is in cycles; the unloaded
+// request/ack round trip is roughly 300 cycles at the default network
+// timings, so the initial timeout leaves ample headroom for NI queueing
+// before declaring loss.
+const (
+	DefaultRTO      sim.Time = 4096
+	DefaultRTOMax   sim.Time = 1 << 16
+	DefaultRetryCap          = 16
+	DefaultDelayMax sim.Time = 512
+)
+
+// Plan is a complete, seeded description of fabric misbehaviour plus the
+// recovery-layer tuning used to survive it. The zero value (and a plan with
+// all-zero rates and no scripted faults) is inert: Active reports false and
+// the network runs its exact fault-free fast path, so results stay
+// byte-identical to a run with no plan at all.
+type Plan struct {
+	// Seed selects the deterministic fault schedule.
+	Seed int64
+	// Default applies to classes without a PerClass override.
+	Default Rates
+	// PerClass overrides Default for specific classes.
+	PerClass map[Class]Rates
+	// Scripted one-shot faults, evaluated in addition to the rates.
+	Scripted []OneShot
+
+	// RTO is the initial retransmission timeout in cycles (0 = DefaultRTO).
+	RTO sim.Time
+	// RTOMax caps the exponential backoff (0 = DefaultRTOMax).
+	RTOMax sim.Time
+	// RetryCap bounds retransmissions per message before the run aborts
+	// (0 = DefaultRetryCap).
+	RetryCap int
+}
+
+// Active reports whether the plan can perturb the fabric at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	if !p.Default.zero() || len(p.Scripted) > 0 {
+		return true
+	}
+	for _, r := range p.PerClass {
+		if !r.zero() {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks all probabilities and scripted faults.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Default.validate("default"); err != nil {
+		return err
+	}
+	for c, r := range p.PerClass {
+		if int(c) >= NumClasses {
+			return fmt.Errorf("fault: unknown class %d in PerClass", uint8(c))
+		}
+		if err := r.validate(c.String()); err != nil {
+			return err
+		}
+	}
+	for i, s := range p.Scripted {
+		if int(s.Class) >= NumClasses {
+			return fmt.Errorf("fault: scripted[%d]: unknown class %d", i, uint8(s.Class))
+		}
+		if s.N == 0 {
+			return fmt.Errorf("fault: scripted[%d]: N is 1-based, got 0", i)
+		}
+		if s.Src < AnyNode || s.Dst < AnyNode {
+			return fmt.Errorf("fault: scripted[%d]: negative node (use AnyNode)", i)
+		}
+		if !s.Drop && !s.Dup && s.Delay == 0 {
+			return fmt.Errorf("fault: scripted[%d]: no effect (set Drop, Dup, or Delay)", i)
+		}
+	}
+	if p.RetryCap < 0 {
+		return fmt.Errorf("fault: RetryCap %d is negative", p.RetryCap)
+	}
+	return nil
+}
+
+// rto/rtoMax/retryCap resolve zero fields to defaults.
+
+func (p *Plan) ResolvedRTO() sim.Time {
+	if p.RTO == 0 {
+		return DefaultRTO
+	}
+	return p.RTO
+}
+
+func (p *Plan) ResolvedRTOMax() sim.Time {
+	m := p.RTOMax
+	if m == 0 {
+		m = DefaultRTOMax
+	}
+	if r := p.ResolvedRTO(); m < r {
+		m = r
+	}
+	return m
+}
+
+func (p *Plan) ResolvedRetryCap() int {
+	if p.RetryCap == 0 {
+		return DefaultRetryCap
+	}
+	return p.RetryCap
+}
+
+// Decision is the injector's verdict for one wire transmission.
+type Decision struct {
+	Drop bool
+	Dup  bool
+	// Delay is extra delivery latency for the primary copy.
+	Delay sim.Time
+	// DupDelay is extra delivery latency for the duplicate copy.
+	DupDelay sim.Time
+}
+
+// Stats counts injected faults per class. Transmissions are counted at the
+// wire, so retransmissions of the same logical message count again.
+type Stats struct {
+	Sent    [NumClasses]uint64
+	Dropped [NumClasses]uint64
+	Duped   [NumClasses]uint64
+	Delayed [NumClasses]uint64
+}
+
+// Injector evaluates a Plan. It is not safe for concurrent use; like the
+// simulation engine it belongs to exactly one machine.
+type Injector struct {
+	seed  uint64
+	rates [NumClasses]Rates
+	// ord numbers wire transmissions per class; it drives the decision hash
+	// and must survive ResetStats so warmup and measured phases draw from
+	// one continuous schedule.
+	ord [NumClasses]uint64
+	// scripted faults with live match counters, bucketed by class so the
+	// common case (no scripts for this class) is a nil slice check.
+	scripted [NumClasses][]scriptState
+
+	Stats Stats
+}
+
+type scriptState struct {
+	OneShot
+	seen  uint64
+	fired bool
+}
+
+// NewInjector compiles a validated plan. Call Plan.Validate first; invalid
+// rates make NewInjector panic.
+func NewInjector(p *Plan) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	in := &Injector{seed: mix64(uint64(p.Seed) + 0x9e3779b97f4a7c15)}
+	for c := 0; c < NumClasses; c++ {
+		in.rates[c] = p.Default
+	}
+	for c, r := range p.PerClass {
+		in.rates[c] = r
+	}
+	for c := range in.rates {
+		if in.rates[c].Delay > 0 && in.rates[c].DelayMax == 0 {
+			in.rates[c].DelayMax = DefaultDelayMax
+		}
+	}
+	for _, s := range p.Scripted {
+		in.scripted[s.Class] = append(in.scripted[s.Class], scriptState{OneShot: s})
+	}
+	return in
+}
+
+// Decide classifies one wire transmission and returns the faults to inject.
+// src/dst are node IDs; the ordinal that drives the hash is per-class, so
+// adding traffic of one class never shifts another class's schedule.
+func (in *Injector) Decide(class Class, src, dst int) Decision {
+	n := in.ord[class]
+	in.ord[class]++
+	in.Stats.Sent[class]++
+
+	var d Decision
+	r := &in.rates[class]
+	if r.Drop != 0 || r.Dup != 0 || r.Delay != 0 {
+		h := mix64(in.seed ^ (uint64(class)+1)<<56 ^ n)
+		if r.Drop != 0 && unit(mix64(h^1)) < r.Drop {
+			d.Drop = true
+		}
+		if r.Dup != 0 && unit(mix64(h^2)) < r.Dup {
+			d.Dup = true
+		}
+		if r.Delay != 0 && unit(mix64(h^3)) < r.Delay {
+			d.Delay = 1 + sim.Time(mix64(h^4)%uint64(r.DelayMax))
+		}
+		if d.Dup {
+			d.DupDelay = 1 + sim.Time(mix64(h^5)%delayMax(r.DelayMax))
+		}
+	}
+
+	for i := range in.scripted[class] {
+		s := &in.scripted[class][i]
+		if s.fired || (s.Src != AnyNode && s.Src != src) || (s.Dst != AnyNode && s.Dst != dst) {
+			continue
+		}
+		s.seen++
+		if s.seen != s.N {
+			continue
+		}
+		s.fired = true
+		d.Drop = d.Drop || s.Drop
+		d.Dup = d.Dup || s.Dup
+		if s.Delay > d.Delay {
+			d.Delay = s.Delay
+		}
+	}
+
+	if d.Drop {
+		d.Dup = false // drop wins: nothing reaches the wire
+		in.Stats.Dropped[class]++
+		return d
+	}
+	if d.Dup {
+		in.Stats.Duped[class]++
+	}
+	if d.Delay > 0 {
+		in.Stats.Delayed[class]++
+	}
+	return d
+}
+
+// ResetStats clears fault counters. Scripted-fault progress and the
+// per-class hash ordinals are structural state and persist, matching the
+// repo-wide ResetStats contract.
+func (in *Injector) ResetStats() {
+	in.Stats = Stats{}
+}
+
+func delayMax(m sim.Time) uint64 {
+	if m == 0 {
+		return uint64(DefaultDelayMax)
+	}
+	return uint64(m)
+}
+
+// mix64 is the splitmix64 finalizer: a strong 64-bit bijective mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to a uniform float64 in [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

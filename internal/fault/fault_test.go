@@ -1,0 +1,262 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Two injectors built from the same plan must produce identical decision
+// streams; a different seed must produce a different stream.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := &Plan{
+		Seed:    42,
+		Default: Rates{Drop: 0.1, Dup: 0.05, Delay: 0.2, DelayMax: 100},
+	}
+	a, b := NewInjector(plan), NewInjector(plan)
+	diff := NewInjector(&Plan{Seed: 43, Default: plan.Default})
+
+	var differed bool
+	for i := 0; i < 5000; i++ {
+		class := Class(i % NumClasses)
+		src, dst := i%4, (i/4)%4
+		da := a.Decide(class, src, dst)
+		db := b.Decide(class, src, dst)
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+		if da != diff.Decide(class, src, dst) {
+			differed = true
+		}
+	}
+	if !differed {
+		t.Fatal("different seeds produced identical 5000-decision streams")
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// The per-class ordinal drives the hash, so traffic in one class must not
+// shift another class's schedule.
+func TestClassScheduleIndependence(t *testing.T) {
+	plan := &Plan{Seed: 7, Default: Rates{Drop: 0.3}}
+	a, b := NewInjector(plan), NewInjector(plan)
+
+	var seqA []Decision
+	for i := 0; i < 200; i++ {
+		seqA = append(seqA, a.Decide(ClassRequest, 0, 1))
+	}
+	var seqB []Decision
+	for i := 0; i < 200; i++ {
+		b.Decide(ClassResponse, 1, 0) // interleaved foreign traffic
+		seqB = append(seqB, b.Decide(ClassRequest, 0, 1))
+	}
+	if !reflect.DeepEqual(seqA, seqB) {
+		t.Fatal("request-class schedule shifted by unrelated response traffic")
+	}
+}
+
+func TestInjectedRatesRoughlyMatch(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Default: Rates{Drop: 0.1, Dup: 0.05, Delay: 0.2}})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Decide(ClassRequest, 0, 1)
+	}
+	check := func(name string, got uint64, want float64) {
+		frac := float64(got) / n
+		if frac < want*0.8 || frac > want*1.2 {
+			t.Errorf("%s rate %.4f, want ~%.2f", name, frac, want)
+		}
+	}
+	check("drop", in.Stats.Dropped[ClassRequest], 0.1)
+	// Dup loses the (drop ∧ dup) overlap: ~0.05 × 0.9.
+	check("dup", in.Stats.Duped[ClassRequest], 0.05*0.9)
+	check("delay", in.Stats.Delayed[ClassRequest], 0.2*0.9)
+	if in.Stats.Sent[ClassRequest] != n {
+		t.Fatalf("sent %d, want %d", in.Stats.Sent[ClassRequest], n)
+	}
+}
+
+func TestDelayBounds(t *testing.T) {
+	const max = 37
+	in := NewInjector(&Plan{Seed: 3, Default: Rates{Delay: 1, DelayMax: max}})
+	for i := 0; i < 2000; i++ {
+		d := in.Decide(ClassPaging, 2, 3)
+		if d.Delay < 1 || d.Delay > max {
+			t.Fatalf("delay %d outside [1,%d]", d.Delay, max)
+		}
+	}
+}
+
+func TestScriptedOneShot(t *testing.T) {
+	in := NewInjector(&Plan{
+		Scripted: []OneShot{
+			{Class: ClassRequest, Src: 3, Dst: AnyNode, N: 2, Drop: true},
+			{Class: ClassResponse, Src: AnyNode, Dst: AnyNode, N: 1, Dup: true, Delay: 9},
+		},
+	})
+	// Requests from other nodes never match.
+	for i := 0; i < 5; i++ {
+		if d := in.Decide(ClassRequest, 1, 0); d.Drop {
+			t.Fatal("scripted drop fired for wrong src")
+		}
+	}
+	if d := in.Decide(ClassRequest, 3, 0); d.Drop {
+		t.Fatal("scripted drop fired on 1st match, want 2nd")
+	}
+	if d := in.Decide(ClassRequest, 3, 2); !d.Drop {
+		t.Fatal("scripted drop did not fire on 2nd match")
+	}
+	if d := in.Decide(ClassRequest, 3, 2); d.Drop {
+		t.Fatal("one-shot fired twice")
+	}
+	d := in.Decide(ClassResponse, 0, 1)
+	if !d.Dup || d.Delay != 9 {
+		t.Fatalf("scripted dup+delay: got %+v", d)
+	}
+	if in.Stats.Dropped[ClassRequest] != 1 || in.Stats.Duped[ClassResponse] != 1 {
+		t.Fatalf("stats: %+v", in.Stats)
+	}
+}
+
+func TestActive(t *testing.T) {
+	var nilPlan *Plan
+	for _, tc := range []struct {
+		name string
+		plan *Plan
+		want bool
+	}{
+		{"nil", nilPlan, false},
+		{"zero", &Plan{}, false},
+		{"seed only", &Plan{Seed: 99}, false},
+		{"zero per-class", &Plan{PerClass: map[Class]Rates{ClassLock: {}}}, false},
+		{"default drop", &Plan{Default: Rates{Drop: 0.01}}, true},
+		{"per-class dup", &Plan{PerClass: map[Class]Rates{ClassLock: {Dup: 0.5}}}, true},
+		{"scripted", &Plan{Scripted: []OneShot{{Class: ClassAck, Src: AnyNode, Dst: AnyNode, N: 1, Drop: true}}}, true},
+	} {
+		if got := tc.plan.Active(); got != tc.want {
+			t.Errorf("%s: Active() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Plan{
+		{Default: Rates{Drop: -0.1}},
+		{Default: Rates{Dup: 1.5}},
+		{PerClass: map[Class]Rates{ClassAck: {Delay: 2}}},
+		{Scripted: []OneShot{{Class: ClassAck, N: 0, Drop: true}}},
+		{Scripted: []OneShot{{Class: ClassAck, N: 1}}}, // no effect
+		{Scripted: []OneShot{{Class: ClassAck, Src: -2, N: 1, Drop: true}}},
+		{RetryCap: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad[%d]: Validate accepted %+v", i, p)
+		}
+	}
+	good := &Plan{
+		Seed:    5,
+		Default: Rates{Drop: 0.1, Dup: 0, Delay: 1, DelayMax: 10},
+		PerClass: map[Class]Rates{
+			ClassLock: {Drop: 1},
+		},
+		Scripted: []OneShot{{Class: ClassPaging, Src: 0, Dst: AnyNode, N: 3, Dup: true}},
+		RetryCap: 4,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected good plan: %v", err)
+	}
+}
+
+func TestResolvedDefaults(t *testing.T) {
+	p := &Plan{}
+	if p.ResolvedRTO() != DefaultRTO || p.ResolvedRTOMax() != DefaultRTOMax || p.ResolvedRetryCap() != DefaultRetryCap {
+		t.Fatal("zero plan did not resolve to defaults")
+	}
+	p = &Plan{RTO: 100000, RTOMax: 10}
+	if p.ResolvedRTOMax() != 100000 {
+		t.Fatalf("RTOMax below RTO should clamp up, got %d", p.ResolvedRTOMax())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	plan := &Plan{Seed: 11, Default: Rates{Drop: 0.5}}
+	a := NewInjector(plan)
+	for i := 0; i < 100; i++ {
+		a.Decide(ClassRequest, 0, 1)
+	}
+	a.ResetStats()
+	if a.Stats != (Stats{}) {
+		t.Fatal("ResetStats left counters behind")
+	}
+	// The schedule must continue, not restart: decisions after reset equal
+	// decisions 100..199 of an uninterrupted injector.
+	b := NewInjector(plan)
+	for i := 0; i < 100; i++ {
+		b.Decide(ClassRequest, 0, 1)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Decide(ClassRequest, 0, 1) != b.Decide(ClassRequest, 0, 1) {
+			t.Fatal("schedule restarted after ResetStats")
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("seed=42, drop=0.02, dup=0.01, delay=0.05, delaymax=400, rto=2048, rtomax=32768, retry=8, response.drop=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{
+		Seed:    42,
+		Default: Rates{Drop: 0.02, Dup: 0.01, Delay: 0.05, DelayMax: 400},
+		PerClass: map[Class]Rates{
+			ClassResponse: {Drop: 0.1, Dup: 0.01, Delay: 0.05, DelayMax: 400},
+		},
+		RTO:      2048,
+		RTOMax:   32768,
+		RetryCap: 8,
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("ParseSpec:\n got %+v\nwant %+v", p, want)
+	}
+
+	// Per-class overrides inherit defaults regardless of key order.
+	p, err = ParseSpec("lock.dup=0.2,drop=0.03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := p.PerClass[ClassLock]; r.Drop != 0.03 || r.Dup != 0.2 {
+		t.Fatalf("per-class inheritance: %+v", r)
+	}
+
+	if p, err := ParseSpec(""); err != nil || p != nil {
+		t.Fatalf("empty spec: got %+v, %v", p, err)
+	}
+	if p, err := ParseSpec("seed=9"); err != nil || p.Active() {
+		t.Fatalf("seed-only spec should be inert: %+v, %v", p, err)
+	}
+
+	for _, bad := range []string{
+		"drop", "drop=2", "drop=x", "nosuch=1", "bogus.drop=0.1",
+		"request.bogus=1", "seed=abc", "retry=-3", "delaymax=-1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		name := c.String()
+		got, ok := ClassByName(name)
+		if !ok || got != c {
+			t.Fatalf("round trip failed for class %d (%q)", c, name)
+		}
+	}
+	if _, ok := ClassByName("nope"); ok {
+		t.Fatal("ClassByName accepted unknown name")
+	}
+}

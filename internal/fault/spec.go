@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"prism/internal/sim"
+)
+
+// ParseSpec builds a Plan from the comma-separated key=value syntax shared
+// by the -faults flag of every CLI:
+//
+//	seed=42,drop=0.02,dup=0.01,delay=0.05
+//
+// Keys:
+//
+//	seed=N          fault schedule seed (default 0)
+//	drop=P          default drop probability, [0,1]
+//	dup=P           default duplicate probability
+//	delay=P         default extra-delay probability
+//	delaymax=N      extra-delay bound in cycles
+//	<class>.drop=P  per-class override (e.g. response.drop=0.1); classes:
+//	                request response ack inval writeback lock paging
+//	                migrate transport other
+//	rto=N           initial retransmission timeout, cycles
+//	rtomax=N        backoff cap, cycles
+//	retry=N         retransmission cap per message
+//
+// An empty spec returns (nil, nil): faults disabled. A spec that names only
+// a seed (all rates zero) yields an inert plan — by design runs with it are
+// byte-identical to fault-free runs, which CI uses as a regression gate.
+func ParseSpec(spec string) (*Plan, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	p := &Plan{}
+	// Per-class fields are collected first and applied after the whole spec
+	// is read, so "drop=0.05,response.dup=0.02" gives the response class the
+	// default drop as well, regardless of key order.
+	type classSet struct {
+		class Class
+		field string
+		prob  float64
+		cyc   sim.Time
+	}
+	var classSets []classSet
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not key=value", kv)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+
+		if cls, field, ok := strings.Cut(key, "."); ok {
+			c, known := ClassByName(cls)
+			if !known {
+				return nil, fmt.Errorf("faults: unknown class %q in %q", cls, kv)
+			}
+			switch field {
+			case "drop", "dup", "delay":
+				f, err := parseProb(kv, val)
+				if err != nil {
+					return nil, err
+				}
+				classSets = append(classSets, classSet{class: c, field: field, prob: f})
+			case "delaymax":
+				n, err := parseCycles(kv, val)
+				if err != nil {
+					return nil, err
+				}
+				classSets = append(classSets, classSet{class: c, field: field, cyc: n})
+			default:
+				return nil, fmt.Errorf("faults: unknown per-class field %q in %q", field, kv)
+			}
+			continue
+		}
+
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed in %q: %v", kv, err)
+			}
+			p.Seed = n
+		case "drop", "dup", "delay":
+			f, err := parseProb(kv, val)
+			if err != nil {
+				return nil, err
+			}
+			switch key {
+			case "drop":
+				p.Default.Drop = f
+			case "dup":
+				p.Default.Dup = f
+			case "delay":
+				p.Default.Delay = f
+			}
+		case "delaymax":
+			n, err := parseCycles(kv, val)
+			if err != nil {
+				return nil, err
+			}
+			p.Default.DelayMax = n
+		case "rto":
+			n, err := parseCycles(kv, val)
+			if err != nil {
+				return nil, err
+			}
+			p.RTO = n
+		case "rtomax":
+			n, err := parseCycles(kv, val)
+			if err != nil {
+				return nil, err
+			}
+			p.RTOMax = n
+		case "retry":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad retry in %q: %v", kv, err)
+			}
+			p.RetryCap = n
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	for _, cs := range classSets {
+		if p.PerClass == nil {
+			p.PerClass = make(map[Class]Rates)
+		}
+		r, has := p.PerClass[cs.class]
+		if !has {
+			r = p.Default
+		}
+		switch cs.field {
+		case "drop":
+			r.Drop = cs.prob
+		case "dup":
+			r.Dup = cs.prob
+		case "delay":
+			r.Delay = cs.prob
+		case "delaymax":
+			r.DelayMax = cs.cyc
+		}
+		p.PerClass[cs.class] = r
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseProb(kv, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: bad probability in %q: %v", kv, err)
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("faults: probability in %q out of range [0,1]", kv)
+	}
+	return f, nil
+}
+
+func parseCycles(kv, val string) (sim.Time, error) {
+	n, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: bad cycle count in %q: %v", kv, err)
+	}
+	return sim.Time(n), nil
+}

@@ -16,6 +16,7 @@ import (
 
 	"prism"
 	"prism/internal/core"
+	"prism/internal/fault"
 	"prism/internal/latency"
 	"prism/internal/metrics"
 	"prism/internal/sim"
@@ -51,6 +52,16 @@ type Options struct {
 	// with or without it. The PIT sweep ignores MetricsDir (it runs
 	// the same app × policy cell twice, which would collide).
 	MetricsDir string
+	// SampleEvery, when nonzero (and MetricsDir is set), records
+	// interval metric snapshots every N cycles in each cell's export.
+	SampleEvery sim.Time
+	// Faults, when non-nil and active, makes every run's interconnect
+	// lossy under the plan's seeded deterministic schedule; the
+	// machine's recovery transport repairs the damage, so sweeps still
+	// converge to the same workload results. nil — or a plan with all
+	// rates zero and nothing scripted — keeps the perfect fabric and
+	// byte-identical output.
+	Faults *fault.Plan
 
 	logMu *sync.Mutex
 }
@@ -110,6 +121,7 @@ func (o *Options) config(polName string, caps []int) (prism.Config, error) {
 	if o.PITAccess != 0 {
 		cfg.Node.PITConfig.AccessTime = o.PITAccess
 	}
+	cfg.Faults = o.Faults
 	return cfg, nil
 }
 
@@ -122,6 +134,9 @@ func (o *Options) runOne(app, polName string, caps []int) (prism.Results, error)
 	m, err := prism.New(cfg)
 	if err != nil {
 		return prism.Results{}, err
+	}
+	if o.MetricsDir != "" && o.SampleEvery != 0 {
+		m.SampleMetrics(o.SampleEvery)
 	}
 	w, err := workloads.ByName(app, o.Size)
 	if err != nil {

@@ -1,0 +1,19 @@
+package kernel
+
+import "prism/internal/fault"
+
+// Fault classification of the kernel's wire messages (see
+// internal/coherence/faultclass.go for the protocol-role rationale).
+// External paging and lazy migration each get their own class: both are
+// rare, heavyweight flows whose loss sensitivity differs from line-grain
+// coherence traffic.
+
+func (*PageInReq) FaultClass() fault.Class    { return fault.ClassPaging }
+func (*PageInResp) FaultClass() fault.Class   { return fault.ClassPaging }
+func (*HomeUnmapReq) FaultClass() fault.Class { return fault.ClassInval }
+func (*HomeUnmapAck) FaultClass() fault.Class { return fault.ClassAck }
+
+func (*MigratePrepMsg) FaultClass() fault.Class   { return fault.ClassMigrate }
+func (*MigrateDataMsg) FaultClass() fault.Class   { return fault.ClassMigrate }
+func (*MigrateCommitMsg) FaultClass() fault.Class { return fault.ClassMigrate }
+func (*MigrateDoneMsg) FaultClass() fault.Class   { return fault.ClassMigrate }

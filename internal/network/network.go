@@ -59,6 +59,11 @@ type Network struct {
 	// everything else hanging off one engine.
 	free []*inflight
 
+	// tr is the fault-injection recovery transport (transport.go), nil
+	// unless a fault plan is active. The fault-free hot path pays one
+	// nil check in Send and one in delivery.
+	tr *transport
+
 	Stats Stats
 }
 
@@ -85,6 +90,18 @@ func (d *inflight) OnEvent(now sim.Time) {
 	n, src, dst, msg := d.n, d.src, d.dst, d.msg
 	d.msg = nil // release the payload before pooling
 	n.free = append(n.free, d)
+	if n.tr != nil {
+		// With the recovery transport armed every wire message is an
+		// envelope or a transport ack; unwrap before the handler.
+		switch m := msg.(type) {
+		case *envelope:
+			n.tr.deliverEnvelope(now, src, dst, m)
+			return
+		case *wireAck:
+			n.tr.deliverAck(now, src, dst, m)
+			return
+		}
+	}
 	n.handlers[dst].Deliver(src, msg)
 }
 
@@ -136,15 +153,24 @@ func (n *Network) Send(at sim.Time, src, dst mem.NodeID, size int, msg Message) 
 	n.Stats.Messages++
 	n.Stats.Bytes += uint64(size)
 
-	occ := n.occupancy(size)
 	if at < n.e.Now() {
 		at = n.e.Now()
 	}
+	if n.tr != nil {
+		// Lossy fabric: route through the recovery transport, which
+		// sequences, times out, and retransmits. Stats above stay
+		// logical — acks and retransmits count only in fault metrics.
+		n.tr.send(at, src, dst, size, msg)
+		return
+	}
+	occ := n.occupancy(size)
 	injected := n.sendNI[src].Acquire(at, occ) + occ
-	arrive := injected + n.cfg.Latency
-	// Receive-side NI occupancy delays the handler invocation; the
-	// pooled inflight object carries both delivery stages without
-	// allocating.
+	n.scheduleInflight(src, dst, msg, occ, injected+n.cfg.Latency)
+}
+
+// scheduleInflight books a pooled two-stage delivery event: receive-NI
+// occupancy at arrive, then handler invocation.
+func (n *Network) scheduleInflight(src, dst mem.NodeID, msg Message, occ sim.Time, arrive sim.Time) {
 	var d *inflight
 	if len(n.free) > 0 {
 		d = n.free[len(n.free)-1]
@@ -165,6 +191,9 @@ func (n *Network) ResetStats() {
 		n.sendNI[i].Reset()
 		n.recvNI[i].Reset()
 	}
+	if n.tr != nil {
+		n.tr.resetStats()
+	}
 }
 
 // RegisterMetrics registers the interconnect with the telemetry
@@ -182,5 +211,10 @@ func (n *Network) RegisterMetrics(r *metrics.Registry) {
 		r.CounterFunc(i, "network", "ni_recv_grants", func() uint64 { return recv.Grants })
 		r.CounterFunc(i, "network", "ni_recv_busy_cycles", func() uint64 { return uint64(recv.BusyTotal) })
 		r.CounterFunc(i, "network", "ni_recv_wait_cycles", func() uint64 { return uint64(recv.WaitTotal) })
+	}
+	if n.tr != nil {
+		// Fault/recovery instruments exist only on lossy runs so that
+		// fault-free metrics exports stay byte-identical.
+		n.tr.registerMetrics(r)
 	}
 }
