@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCreateRunVerify drives the CLI end to end: record a small chaos
+// case with an embedded checkpoint, replay it, and verify it.
+func TestCreateRunVerify(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "c.prismcase")
+	var out, errb strings.Builder
+	if code := run([]string{"create", "-workload", "chaos", "-seed", "3", "-ops", "400",
+		"-policy", "SCOMA", "-checkpoint-at", "1", "-o", p}, &out, &errb); code != 0 {
+		t.Fatalf("create exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "checkpoint") {
+		t.Errorf("create output missing checkpoint summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"run", p}, &out, &errb); code != 0 {
+		t.Fatalf("run exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "cycles") {
+		t.Errorf("run output missing cycles:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"verify", p}, &out, &errb); code != 0 {
+		t.Fatalf("verify exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("verify output missing ok:\n%s", out.String())
+	}
+}
+
+// TestMinimizeRejectsPassingCase: minimize requires a failing case.
+func TestMinimizeRejectsPassingCase(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "c.prismcase")
+	var out, errb strings.Builder
+	if code := run([]string{"create", "-workload", "chaos", "-seed", "3", "-ops", "400",
+		"-policy", "SCOMA", "-o", p}, &out, &errb); code != 0 {
+		t.Fatalf("create exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"minimize", p}, &out, &errb); code == 0 {
+		t.Fatalf("minimize of a passing case succeeded:\n%s", out.String())
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code == 0 {
+		t.Fatal("no-args run succeeded")
+	}
+	if !strings.Contains(errb.String(), "usage") {
+		t.Errorf("missing usage text: %s", errb.String())
+	}
+}

@@ -70,3 +70,9 @@ func (w *chaosWL) Run(ctx *Ctx) {
 // region under heavy capacity pressure. Deterministic per seed. Tests
 // across packages run it and audit the result with CheckInvariants.
 func ChaosWorkload(seed int64) Workload { return &chaosWL{seed: seed} }
+
+// ChaosWorkloadOps is ChaosWorkload with an explicit per-processor
+// operation count (0 keeps the default). The fuzz harness and the
+// testcase format use it so a recorded failure replays the exact
+// op sequence that produced it.
+func ChaosWorkloadOps(seed int64, ops int) Workload { return &chaosWL{seed: seed, ops: ops} }

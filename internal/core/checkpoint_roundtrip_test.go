@@ -1,0 +1,151 @@
+package core
+
+// Round-trip property tests for checkpoint/restore across every
+// placement policy and with an armed fault plan: the restored machine
+// must re-export byte-identical state, and resuming must reproduce the
+// uninterrupted run's results and metrics exactly.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"prism/internal/fault"
+	"prism/internal/policy"
+)
+
+type rtVariant struct {
+	name      string
+	pol       policy.Policy
+	hwSync    bool
+	faultSpec string
+}
+
+func rtVariants(t *testing.T) []rtVariant {
+	t.Helper()
+	var out []rtVariant
+	for _, pol := range []policy.Policy{
+		policy.SCOMA{}, policy.LANUMA{}, policy.SCOMA70{},
+		policy.DynFCFS{}, policy.DynUtil{}, policy.DynLRU{},
+		policy.DynBoth{Threshold: 16},
+	} {
+		out = append(out, rtVariant{name: pol.Name(), pol: pol})
+	}
+	// The lossy-fabric variant: recovery transport armed, so the
+	// checkpoint must carry envelopes, wire acks and live
+	// retransmission timers. Hardware sync adds lock grant traffic.
+	out = append(out, rtVariant{
+		name:      "Dyn-LRU-faults",
+		pol:       policy.DynLRU{},
+		hwSync:    true,
+		faultSpec: "seed=9,drop=0.03,dup=0.02,delay=0.05,delaymax=400",
+	})
+	return out
+}
+
+func (v rtVariant) config(t *testing.T) Config {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Node.L1.Size = 1 << 10
+	cfg.Node.L2.Size = 2 << 10
+	cfg.Policy = v.pol
+	if v.pol.Name() != "SCOMA" && v.pol.Name() != "LANUMA" {
+		cfg.PageCacheCaps = []int{3, 3, 3, 3}
+	}
+	cfg.HardwareSync = v.hwSync
+	if v.faultSpec != "" {
+		plan, err := fault.ParseSpec(v.faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestCheckpointRoundTripAllPolicies is the component-by-component
+// round-trip property, run under the chaos workload for every policy
+// (and once with a lossy fabric): capture at mid-run, restore on a
+// fresh machine, re-export, and require byte equality with the
+// original snapshot; then resume and require the uninterrupted run's
+// exact results and metrics.
+func TestCheckpointRoundTripAllPolicies(t *testing.T) {
+	for _, v := range rtVariants(t) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk := func() Workload { return ChaosWorkloadOps(5, 400) }
+
+			newM := func() *Machine {
+				m, err := NewMachine(v.config(t))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+
+			ref, err := newM().Run(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			refM := newM()
+			refAgain, err := refM.Run(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, refAgain) {
+				t.Fatal("workload is not deterministic; round-trip test is meaningless")
+			}
+			refMetrics := refM.Metrics.Snapshot()
+
+			snap, recRes, err := newM().RecordCheckpoint(mk(), ref.Cycles/2)
+			if errors.Is(err, ErrNoQuiescentFill) {
+				t.Skipf("no quiescent fill: %v", err)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(recRes, ref) {
+				t.Fatal("recording perturbed the run")
+			}
+
+			// Restore and re-export: byte-identical state.
+			m2 := newM()
+			if err := m2.RestoreSnapshot(mk(), snap); err != nil {
+				t.Fatal(err)
+			}
+			re, err := m2.captureSnapshot(snap.Trigger, snap.TriggerBarrier, snap.GateLog)
+			if err != nil {
+				t.Fatalf("restored machine not capturable: %v", err)
+			}
+			var a, b bytes.Buffer
+			if err := WriteSnapshot(&a, snap); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteSnapshot(&b, re); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatal("re-exported state differs from the captured snapshot")
+			}
+
+			// Resume: identical results and metrics.
+			res, err := m2.Resume(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after resume: %v", err)
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Fatalf("resumed results differ:\nref: %+v\ngot: %+v", ref, res)
+			}
+			if got := m2.Metrics.Snapshot(); !reflect.DeepEqual(got, refMetrics) {
+				t.Fatal("resumed metrics differ from uninterrupted run")
+			}
+		})
+	}
+}

@@ -46,59 +46,9 @@ func TestProtocolFuzz(t *testing.T) {
 	}
 }
 
-// FuzzChaos is the native fuzz entry over the chaos workload: the
-// input picks the seed and the configuration knobs, the run must
-// complete without deadlock and pass the global invariant audit.
-//
-// The seed corpus encodes the cases past chaos runs actually flagged:
-//   - Sync-mode (hardware lock) pages under capped policies, where the
-//     grant/downgrade race that motivated grant-ack line locking and a
-//     lock-handoff deadlock were originally caught;
-//   - DRAM-speed PIT (AccessTime 10), which shifts LRU victim timing
-//     and once surfaced a stale-victim page-out deadlock dump;
-//   - DynBoth reverse conversions combined with tiny page caches.
-func FuzzChaos(f *testing.F) {
-	f.Add(int64(1), uint8(0), false, false)   // SCOMA baseline
-	f.Add(int64(42), uint8(5), true, false)   // Dyn-LRU + Sync-mode pages
-	f.Add(int64(777), uint8(3), false, true)  // Dyn-FCFS + DRAM PIT
-	f.Add(int64(7), uint8(6), true, true)     // DynBoth + hw sync + slow PIT (past deadlock dump)
-	f.Add(int64(1234), uint8(2), true, false) // SCOMA-70 paging + Sync-mode pages
-	f.Add(int64(3), uint8(4), false, true)    // Dyn-Util victim timing under DRAM PIT
-
-	pols := []policy.Policy{
-		policy.SCOMA{}, policy.LANUMA{}, policy.SCOMA70{},
-		policy.DynFCFS{}, policy.DynUtil{}, policy.DynLRU{},
-		policy.DynBoth{Threshold: 16},
-	}
-	f.Fuzz(func(t *testing.T, seed int64, polIdx uint8, hwSync, dramPIT bool) {
-		pol := pols[int(polIdx)%len(pols)]
-		cfg := testConfig()
-		cfg.Node.L1.Size = 1 << 10 // heavy capacity pressure
-		cfg.Node.L2.Size = 2 << 10
-		cfg.Policy = pol
-		if pol.Name() != "SCOMA" && pol.Name() != "LANUMA" {
-			cfg.PageCacheCaps = []int{3, 3, 3, 3}
-		}
-		cfg.HardwareSync = hwSync
-		if dramPIT {
-			cfg.Node.PITConfig.AccessTime = 10
-		}
-		m, err := NewMachine(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := m.Run(&chaosWL{seed: seed, ops: 400})
-		if err != nil {
-			t.Fatalf("seed %d %s hwSync=%v dramPIT=%v: %v", seed, pol.Name(), hwSync, dramPIT, err)
-		}
-		if err := m.CheckInvariants(); err != nil {
-			t.Fatalf("seed %d %s: %v", seed, pol.Name(), err)
-		}
-		if res.Refs == 0 {
-			t.Fatal("fuzzer did nothing")
-		}
-	})
-}
+// FuzzChaos moved to fuzzcase_test.go (package core_test): on failure
+// it now emits a minimized .prismcase repro via internal/testcase,
+// which this package cannot import from an in-package test.
 
 func TestProtocolFuzzConfigMatrix(t *testing.T) {
 	// Orthogonal configuration knobs under the fuzzer: directory

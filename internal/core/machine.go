@@ -142,10 +142,18 @@ type Machine struct {
 	nextGlobal mem.VSID
 	tm         timing.T
 
-	sampler    *metrics.Sampler
-	measuring  bool
-	phaseStart sim.Time
-	phaseEnd   sim.Time
+	sampler      *metrics.Sampler
+	samplerEvery sim.Time
+	measuring    bool
+	phaseStart   sim.Time
+	phaseEnd     sim.Time
+
+	// Checkpoint/restore bookkeeping (core/checkpoint.go): the snapshot
+	// most recently captured or restored on this machine, and the
+	// restored trigger processor Resume must continue synchronously.
+	lastSnap     *MachineSnapshot
+	ckptTrigger  int
+	ckptRestored bool
 }
 
 // NewMachine builds and wires a machine.
@@ -324,6 +332,7 @@ func (m *Machine) resetStats() {
 // processor is still running. Call before Run; the samples appear in
 // ExportMetrics output.
 func (m *Machine) SampleMetrics(every sim.Time) {
+	m.samplerEvery = every
 	m.sampler = metrics.AttachSampler(m.E, m.Metrics, every, func() bool {
 		for _, p := range m.Procs {
 			if !p.Coro().Done() {

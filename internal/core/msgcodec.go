@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"prism/internal/coherence"
+	"prism/internal/network"
+)
+
+// MsgRec is the serializable union of protocol message payloads that
+// can be on the wire at a checkpoint. Exactly one field is non-nil.
+// Kernel page-migration messages are deliberately absent: a migration
+// in progress blocks capture (kernel.Quiesced), so they can never be
+// in flight at a safe point.
+type MsgRec struct {
+	Get        *coherence.GetMsg        `json:",omitempty"`
+	Data       *coherence.DataMsg       `json:",omitempty"`
+	GrantAck   *coherence.GrantAckMsg   `json:",omitempty"`
+	Inv        *coherence.InvMsg        `json:",omitempty"`
+	InvAck     *coherence.InvAckMsg     `json:",omitempty"`
+	Recall     *coherence.RecallMsg     `json:",omitempty"`
+	RecallResp *coherence.RecallRespMsg `json:",omitempty"`
+	WB         *coherence.WBMsg         `json:",omitempty"`
+	Flush      *coherence.FlushMsg      `json:",omitempty"`
+	FlushAck   *coherence.FlushAckMsg   `json:",omitempty"`
+	LockReq    *coherence.LockReqMsg    `json:",omitempty"`
+	LockGrant  *coherence.LockGrantMsg  `json:",omitempty"`
+	Unlock     *coherence.UnlockMsg     `json:",omitempty"`
+}
+
+// encodeMsg captures a wire payload by value.
+func encodeMsg(msg network.Message) (*MsgRec, error) {
+	switch m := msg.(type) {
+	case *coherence.GetMsg:
+		v := *m
+		return &MsgRec{Get: &v}, nil
+	case *coherence.DataMsg:
+		v := *m
+		return &MsgRec{Data: &v}, nil
+	case *coherence.GrantAckMsg:
+		v := *m
+		return &MsgRec{GrantAck: &v}, nil
+	case *coherence.InvMsg:
+		v := *m
+		return &MsgRec{Inv: &v}, nil
+	case *coherence.InvAckMsg:
+		v := *m
+		return &MsgRec{InvAck: &v}, nil
+	case *coherence.RecallMsg:
+		v := *m
+		return &MsgRec{Recall: &v}, nil
+	case *coherence.RecallRespMsg:
+		v := *m
+		return &MsgRec{RecallResp: &v}, nil
+	case *coherence.WBMsg:
+		v := *m
+		return &MsgRec{WB: &v}, nil
+	case *coherence.FlushMsg:
+		v := *m
+		v.DirtyLines = append([]int(nil), v.DirtyLines...)
+		return &MsgRec{Flush: &v}, nil
+	case *coherence.FlushAckMsg:
+		v := *m
+		return &MsgRec{FlushAck: &v}, nil
+	case *coherence.LockReqMsg:
+		v := *m
+		return &MsgRec{LockReq: &v}, nil
+	case *coherence.LockGrantMsg:
+		v := *m
+		return &MsgRec{LockGrant: &v}, nil
+	case *coherence.UnlockMsg:
+		v := *m
+		return &MsgRec{Unlock: &v}, nil
+	}
+	return nil, fmt.Errorf("core: unserializable wire payload %T", msg)
+}
+
+// decodeMsg rebuilds the wire payload as a fresh copy. It must never
+// hand out the record's own pointer: the machine pools delivered
+// messages, so the object would be recycled and overwritten during the
+// resumed run — corrupting the snapshot for any later replay of the
+// same in-memory object.
+func decodeMsg(r *MsgRec) (network.Message, error) {
+	switch {
+	case r == nil:
+		return nil, fmt.Errorf("core: snapshot event has no payload")
+	case r.Get != nil:
+		v := *r.Get
+		return &v, nil
+	case r.Data != nil:
+		v := *r.Data
+		return &v, nil
+	case r.GrantAck != nil:
+		v := *r.GrantAck
+		return &v, nil
+	case r.Inv != nil:
+		v := *r.Inv
+		return &v, nil
+	case r.InvAck != nil:
+		v := *r.InvAck
+		return &v, nil
+	case r.Recall != nil:
+		v := *r.Recall
+		return &v, nil
+	case r.RecallResp != nil:
+		v := *r.RecallResp
+		return &v, nil
+	case r.WB != nil:
+		v := *r.WB
+		return &v, nil
+	case r.Flush != nil:
+		v := *r.Flush
+		v.DirtyLines = append([]int(nil), v.DirtyLines...)
+		return &v, nil
+	case r.FlushAck != nil:
+		v := *r.FlushAck
+		return &v, nil
+	case r.LockReq != nil:
+		v := *r.LockReq
+		return &v, nil
+	case r.LockGrant != nil:
+		v := *r.LockGrant
+		return &v, nil
+	case r.Unlock != nil:
+		v := *r.Unlock
+		return &v, nil
+	}
+	return nil, fmt.Errorf("core: snapshot payload union is empty")
+}

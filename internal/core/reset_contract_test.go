@@ -1,0 +1,235 @@
+package core
+
+// Machine-wide ResetStats contract, audited through the snapshot
+// codepath: restore a mid-run checkpoint, reset statistics, re-export,
+// and require that (1) every leaf that changed lies in a declared
+// measurement-counter subtree and is zeroed afterwards, and (2) every
+// declared counter group actually changed, proving both that the run
+// exercised it and that the reset cleared it. Any other difference
+// means ResetStats perturbed structural state that checkpoint/restore
+// must preserve — exactly the breakage that would corrupt a resumed
+// run's results.
+
+import (
+	"encoding/json"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prism/internal/fault"
+	"prism/internal/policy"
+)
+
+// resetStatsGroups is the audit table: one row per measurement-counter
+// subtree of the machine snapshot. Pattern segments use "*" for array
+// indices. Every leaf that differs across resetStats must fall under
+// some row; rows marked mustChange must see at least one leaf change.
+var resetStatsGroups = []struct {
+	pattern    string
+	mustChange bool
+}{
+	// Processors: reference counters and both cache levels.
+	{"Procs/*/Proc/Stats", true},
+	{"Procs/*/L1/Stats", true},
+	{"Procs/*/L2/Stats", true},
+	// Node-level hardware: bus counters plus the resource-occupancy
+	// statistics (Grants/BusyTotal/WaitTotal clear; FreeAt — the
+	// structural occupancy horizon — must NOT change, so it is
+	// deliberately not listed).
+	{"Nodes/*/Node/BusStats", true},
+	{"Nodes/*/Node/AddrBus/Grants", true},
+	{"Nodes/*/Node/AddrBus/BusyTotal", true},
+	{"Nodes/*/Node/AddrBus/WaitTotal", false},
+	{"Nodes/*/Node/DataBus/Grants", true},
+	{"Nodes/*/Node/DataBus/BusyTotal", true},
+	{"Nodes/*/Node/DataBus/WaitTotal", false},
+	{"Nodes/*/Node/Mem/Grants", true},
+	{"Nodes/*/Node/Mem/BusyTotal", true},
+	{"Nodes/*/Node/Mem/WaitTotal", false},
+	// Kernel: paging counters and the software TLB's hit/miss stats.
+	{"Nodes/*/Kern/Stats", true},
+	{"Nodes/*/Kern/TLB/Stats", true},
+	// Coherence controller, PIT and directory counters, plus the
+	// controller occupancy resource's counters.
+	{"Nodes/*/Ctrl/Stats", true},
+	{"Nodes/*/Ctrl/SyncStats", true},
+	{"Nodes/*/Ctrl/Ctrl/Grants", true},
+	{"Nodes/*/Ctrl/Ctrl/BusyTotal", true},
+	{"Nodes/*/Ctrl/Ctrl/WaitTotal", false},
+	{"Nodes/*/PIT/Stats", true},
+	{"Nodes/*/Dir/Stats", true},
+	// Interconnect: message/byte totals, per-NI resource counters,
+	// recovery-transport counters and the fault injector's tallies.
+	{"Net/Stats", true},
+	{"Net/SendNI/*/Grants", true},
+	{"Net/SendNI/*/BusyTotal", true},
+	{"Net/SendNI/*/WaitTotal", false},
+	{"Net/RecvNI/*/Grants", true},
+	{"Net/RecvNI/*/BusyTotal", true},
+	{"Net/RecvNI/*/WaitTotal", false},
+	{"Net/Transport/Stats", true},
+	{"Net/Transport/Injector/Stats", true},
+	// Synchronization domain operation counts.
+	{"Sync/BarrierOps", true},
+	{"Sync/LockOps", true},
+	// Telemetry-registry latency histograms (Count/Sum/Min/Max and the
+	// bucket vector are all measurement state).
+	{"Hist/Histograms", true},
+}
+
+// flattenJSON walks a decoded JSON value, recording every leaf under
+// its slash-separated path.
+func flattenJSON(prefix string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, c := range x {
+			flattenJSON(prefix+"/"+k, c, out)
+		}
+	case []any:
+		for i, c := range x {
+			flattenJSON(prefix+"/"+strconv.Itoa(i), c, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+// matchGroup reports whether path falls under pattern ("*" matches a
+// single segment; the pattern matches the path or any prefix subtree).
+func matchGroup(pattern, path string) bool {
+	ps := strings.Split(pattern, "/")
+	xs := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(xs) < len(ps) {
+		return false
+	}
+	for i, p := range ps {
+		if p != "*" && p != xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func zeroLeaf(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return true
+	case bool:
+		return !x
+	case float64:
+		return x == 0
+	case string:
+		return x == ""
+	}
+	return false
+}
+
+func TestResetStatsSnapshotContract(t *testing.T) {
+	cfg := testConfig()
+	cfg.Node.L1.Size = 1 << 10
+	cfg.Node.L2.Size = 2 << 10
+	cfg.Policy = policy.DynLRU{}
+	cfg.PageCacheCaps = []int{3, 3, 3, 3}
+	cfg.HardwareSync = true
+	plan, err := fault.ParseSpec("seed=4,drop=0.02,dup=0.01,delay=0.05,delaymax=300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = plan
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() Workload { return ChaosWorkloadOps(11, 400) }
+	newM := func() *Machine {
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	ref, err := newM().Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := newM().RecordCheckpoint(mk(), ref.Cycles/2)
+	if errors.Is(err, ErrNoQuiescentFill) {
+		t.Skipf("no quiescent fill: %v", err)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := newM()
+	if err := m.RestoreSnapshot(mk(), snap); err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.captureSnapshot(snap.Trigger, snap.TriggerBarrier, snap.GateLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.resetStats()
+	after, err := m.captureSnapshot(snap.Trigger, snap.TriggerBarrier, snap.GateLog)
+	if err != nil {
+		t.Fatalf("machine not capturable after resetStats: %v", err)
+	}
+
+	flat := func(s *MachineSnapshot) map[string]any {
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]any{}
+		flattenJSON("", v, out)
+		return out
+	}
+	fb, fa := flat(base), flat(after)
+
+	// Leaves must not appear or vanish: reset may change values only.
+	for p := range fb {
+		if _, ok := fa[p]; !ok {
+			t.Errorf("leaf %s vanished across resetStats", p)
+		}
+	}
+	for p := range fa {
+		if _, ok := fb[p]; !ok {
+			t.Errorf("leaf %s appeared across resetStats", p)
+		}
+	}
+
+	changed := map[int]int{} // group index -> leaves changed
+	for p, bv := range fb {
+		av, ok := fa[p]
+		if !ok || bv == av {
+			continue
+		}
+		grp := -1
+		for i, g := range resetStatsGroups {
+			if matchGroup(g.pattern, p) {
+				grp = i
+				break
+			}
+		}
+		if grp < 0 {
+			t.Errorf("structural leaf changed across resetStats: %s: %v -> %v", p, bv, av)
+			continue
+		}
+		changed[grp]++
+		if !zeroLeaf(av) {
+			t.Errorf("counter %s not cleared by resetStats: %v -> %v", p, bv, av)
+		}
+	}
+	for i, g := range resetStatsGroups {
+		if g.mustChange && changed[i] == 0 {
+			t.Errorf("counter group %s did not change: either the chaos run never exercised it or resetStats missed it", g.pattern)
+		}
+	}
+	if len(changed) == 0 {
+		t.Fatal("resetStats changed nothing; audit is vacuous")
+	}
+}

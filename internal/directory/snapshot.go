@@ -1,0 +1,98 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"prism/internal/mem"
+)
+
+// PageState is one page's directory lines.
+type PageState struct {
+	Seg   mem.GSID
+	Page  uint32
+	Lines []Line
+}
+
+// TagCacheState is the directory cache's tag store, exported verbatim:
+// its contents decide hit/miss timing, so resident-set differences
+// would change the simulation.
+type TagCacheState struct {
+	Clock uint64
+	Segs  []mem.GSID
+	Pages []uint32
+	Lines []int
+	Valid []bool
+	LRU   []uint64
+}
+
+// DirectoryState is a node directory's complete serializable state.
+type DirectoryState struct {
+	Pages    []PageState
+	TagCache TagCacheState
+	Stats    Stats
+}
+
+// ExportState captures the directory: per-page line arrays in page
+// order plus the tag cache verbatim.
+func (d *Directory) ExportState() DirectoryState {
+	s := DirectoryState{Stats: d.Stats}
+	for i, k := range d.keys {
+		if k == 0 {
+			continue
+		}
+		packed := k - 1
+		s.Pages = append(s.Pages, PageState{
+			Seg:   mem.GSID(packed >> 32),
+			Page:  uint32(packed),
+			Lines: append([]Line(nil), d.vals[i]...),
+		})
+	}
+	sort.Slice(s.Pages, func(i, j int) bool {
+		a, b := s.Pages[i], s.Pages[j]
+		if a.Seg != b.Seg {
+			return a.Seg < b.Seg
+		}
+		return a.Page < b.Page
+	})
+	tc := d.tc
+	s.TagCache = TagCacheState{
+		Clock: tc.clock,
+		Segs:  make([]mem.GSID, len(tc.tags)),
+		Pages: make([]uint32, len(tc.tags)),
+		Lines: make([]int, len(tc.tags)),
+		Valid: append([]bool(nil), tc.valid...),
+		LRU:   append([]uint64(nil), tc.lru...),
+	}
+	for i, t := range tc.tags {
+		s.TagCache.Segs[i] = t.page.Seg
+		s.TagCache.Pages[i] = t.page.Page
+		s.TagCache.Lines[i] = t.line
+	}
+	return s
+}
+
+// ImportState rebuilds the directory from a snapshot, discarding all
+// current pages. The receiving directory must have been built with the
+// same configuration (the tag-cache geometry must match).
+func (d *Directory) ImportState(s DirectoryState) error {
+	if len(s.TagCache.Valid) != len(d.tc.valid) {
+		return fmt.Errorf("directory: snapshot tag cache has %d entries, directory has %d (config mismatch)",
+			len(s.TagCache.Valid), len(d.tc.valid))
+	}
+	d.keys, d.vals, d.n = nil, nil, 0
+	d.slab, d.slabOff = nil, 0
+	for _, ps := range s.Pages {
+		g := mem.GPage{Seg: ps.Seg, Page: ps.Page}
+		d.put(g, append([]Line(nil), ps.Lines...))
+	}
+	tc := d.tc
+	tc.clock = s.TagCache.Clock
+	copy(tc.valid, s.TagCache.Valid)
+	copy(tc.lru, s.TagCache.LRU)
+	for i := range tc.tags {
+		tc.tags[i] = key{page: mem.GPage{Seg: s.TagCache.Segs[i], Page: s.TagCache.Pages[i]}, line: s.TagCache.Lines[i]}
+	}
+	d.Stats = s.Stats
+	return nil
+}

@@ -1,0 +1,49 @@
+package fault
+
+// Serializable injector state. The decision schedule is a pure hash of
+// (seed, class, per-class ordinal), so capturing the ordinals and the
+// scripted-fault progress is enough to resume the exact fault schedule;
+// the seed and rates come back from the plan in the machine config.
+
+// ScriptProgress is one scripted fault's live match counter, addressed
+// by (Class, Index) into the injector's per-class script buckets, which
+// are built deterministically from the plan's Scripted order.
+type ScriptProgress struct {
+	Class Class
+	Index int
+	Seen  uint64
+	Fired bool
+}
+
+// InjectorState is an injector's complete serializable state.
+type InjectorState struct {
+	Ord      [NumClasses]uint64
+	Scripted []ScriptProgress
+	Stats    Stats
+}
+
+// ExportState captures the injector.
+func (in *Injector) ExportState() InjectorState {
+	s := InjectorState{Ord: in.ord, Stats: in.Stats}
+	for c := 0; c < NumClasses; c++ {
+		for i := range in.scripted[c] {
+			sc := &in.scripted[c][i]
+			s.Scripted = append(s.Scripted, ScriptProgress{Class: Class(c), Index: i, Seen: sc.seen, Fired: sc.fired})
+		}
+	}
+	return s
+}
+
+// ImportState restores progress into an injector freshly compiled from
+// the same plan.
+func (in *Injector) ImportState(s InjectorState) {
+	in.ord = s.Ord
+	in.Stats = s.Stats
+	for _, sp := range s.Scripted {
+		if int(sp.Class) < NumClasses && sp.Index < len(in.scripted[sp.Class]) {
+			sc := &in.scripted[sp.Class][sp.Index]
+			sc.seen = sp.Seen
+			sc.fired = sp.Fired
+		}
+	}
+}

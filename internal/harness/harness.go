@@ -387,9 +387,23 @@ func max(a, b int) int {
 	return b
 }
 
+// CSVHeader is the sweep dump's column row.
+const CSVHeader = "app,policy,cycles,remote_misses,page_outs,real_frames,imag_frames,utilization,upgrades,writebacks,invalidations,page_faults,net_messages,net_bytes"
+
+// FormatRow renders one app×policy cell exactly as WriteCSV does (no
+// trailing newline). Testcase replay reuses it so a replayed cell can
+// be diffed against results_ci.csv without format drift.
+func FormatRow(app, pol string, r prism.Results) string {
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d",
+		app, pol, r.Cycles, r.RemoteMisses, r.ClientPageOuts,
+		r.RealFrames, r.ImagFrames, r.Utilization,
+		r.Upgrades, r.WritebacksSent, r.InvsSent, r.PageFaults,
+		r.NetMessages, r.NetBytes)
+}
+
 // WriteCSV dumps every run's raw results, one row per app×policy.
 func WriteCSV(w io.Writer, runs []AppRun) error {
-	if _, err := fmt.Fprintln(w, "app,policy,cycles,remote_misses,page_outs,real_frames,imag_frames,utilization,upgrades,writebacks,invalidations,page_faults,net_messages,net_bytes"); err != nil {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
 		return err
 	}
 	for _, ar := range runs {
@@ -398,11 +412,7 @@ func WriteCSV(w io.Writer, runs []AppRun) error {
 			if !ok {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d\n",
-				ar.App, pol, r.Cycles, r.RemoteMisses, r.ClientPageOuts,
-				r.RealFrames, r.ImagFrames, r.Utilization,
-				r.Upgrades, r.WritebacksSent, r.InvsSent, r.PageFaults,
-				r.NetMessages, r.NetBytes); err != nil {
+			if _, err := fmt.Fprintln(w, FormatRow(ar.App, pol, r)); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,65 @@
+package ipc
+
+import (
+	"sort"
+
+	"prism/internal/mem"
+)
+
+// Serializable registry state. The segment tables (byKey/byGSID) are
+// rebuilt deterministically by workload setup on a fresh machine; what
+// survives here is the runtime-mutated part: the dynamic-home table and
+// the per-segment attach counts (shmat/shmdt happen during Run too).
+
+// DynHomeEntry is one migrated page's dynamic home.
+type DynHomeEntry struct {
+	Seg  mem.GSID
+	Page uint32
+	Node mem.NodeID
+}
+
+// SegmentAttaches is one segment's attach count.
+type SegmentAttaches struct {
+	GSID     mem.GSID
+	Attaches int
+}
+
+// RegistryState is the IPC registry's serializable state.
+type RegistryState struct {
+	DynHome  []DynHomeEntry
+	Attaches []SegmentAttaches
+}
+
+// ExportState captures the registry.
+func (r *Registry) ExportState() RegistryState {
+	var s RegistryState
+	for g, n := range r.dynHome {
+		s.DynHome = append(s.DynHome, DynHomeEntry{Seg: g.Seg, Page: g.Page, Node: n})
+	}
+	sort.Slice(s.DynHome, func(i, j int) bool {
+		a, b := s.DynHome[i], s.DynHome[j]
+		if a.Seg != b.Seg {
+			return a.Seg < b.Seg
+		}
+		return a.Page < b.Page
+	})
+	for gsid, seg := range r.byGSID {
+		s.Attaches = append(s.Attaches, SegmentAttaches{GSID: gsid, Attaches: seg.Attaches})
+	}
+	sort.Slice(s.Attaches, func(i, j int) bool { return s.Attaches[i].GSID < s.Attaches[j].GSID })
+	return s
+}
+
+// ImportState restores the registry over a freshly set-up machine (the
+// segments themselves must already exist).
+func (r *Registry) ImportState(s RegistryState) {
+	r.dynHome = make(map[mem.GPage]mem.NodeID, len(s.DynHome))
+	for _, e := range s.DynHome {
+		r.dynHome[mem.GPage{Seg: e.Seg, Page: e.Page}] = e.Node
+	}
+	for _, e := range s.Attaches {
+		if seg := r.byGSID[e.GSID]; seg != nil {
+			seg.Attaches = e.Attaches
+		}
+	}
+}

@@ -20,8 +20,8 @@ import (
 	"prism/internal/metrics"
 	"prism/internal/network"
 	"prism/internal/pit"
-	"prism/internal/pool"
 	"prism/internal/policy"
+	"prism/internal/pool"
 	"prism/internal/sim"
 	"prism/internal/timing"
 )

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+
+	"prism/internal/sim"
+)
+
+// Serializable registry state. Counters and gauges are read-through
+// views over model Stats structs and carry no state of their own —
+// restoring the model restores them. Histograms are the exception:
+// they accumulate observations in the registry, so they are captured
+// here, keyed by instrument identity in export order.
+
+// HistogramState is one histogram's accumulators.
+type HistogramState struct {
+	Node      int
+	Component string
+	Name      string
+	Counts    []uint64
+	Count     uint64
+	Sum       uint64
+	Min       sim.Time
+	Max       sim.Time
+}
+
+// RegistryState is the registry's serializable state.
+type RegistryState struct {
+	Histograms []HistogramState
+}
+
+// ExportState captures every histogram in deterministic export order.
+func (r *Registry) ExportState() RegistryState {
+	var s RegistryState
+	if r == nil {
+		return s
+	}
+	for _, k := range r.sortedKeys() {
+		in := r.byKey[k]
+		if in.hist == nil {
+			continue
+		}
+		h := in.hist
+		s.Histograms = append(s.Histograms, HistogramState{
+			Node: k.Node, Component: k.Component, Name: k.Name,
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		})
+	}
+	return s
+}
+
+// ImportState restores histogram accumulators into a registry that was
+// rebuilt with the same instrument set. Unknown instruments or bucket
+// geometry mismatches are errors (they indicate a config mismatch).
+func (r *Registry) ImportState(s RegistryState) error {
+	for _, hs := range s.Histograms {
+		if r == nil {
+			return fmt.Errorf("metrics: snapshot has histograms but registry is nil")
+		}
+		in := r.byKey[Key{Node: hs.Node, Component: hs.Component, Name: hs.Name}]
+		if in == nil || in.hist == nil {
+			return fmt.Errorf("metrics: snapshot histogram %s/%s[n%d] not registered", hs.Component, hs.Name, hs.Node)
+		}
+		h := in.hist
+		if len(hs.Counts) != len(h.counts) {
+			return fmt.Errorf("metrics: histogram %s/%s[n%d] has %d buckets, snapshot has %d",
+				hs.Component, hs.Name, hs.Node, len(h.counts), len(hs.Counts))
+		}
+		copy(h.counts, hs.Counts)
+		h.count, h.sum, h.min, h.max = hs.Count, hs.Sum, hs.Min, hs.Max
+	}
+	return nil
+}

@@ -71,8 +71,20 @@ type Proc struct {
 	lockDone   func(at sim.Time)
 	freeUnlock []*hwUnlockEvent // pooled posted-unlock events
 
+	// replay marks checkpoint-replay mode (core/checkpoint.go): memory
+	// references and compute become no-ops and hardware sync operations
+	// short-circuit through the sync hook's gate log, so the coroutine
+	// re-traverses the workload's control flow without re-simulating it.
+	replay bool
+
 	Stats ProcStats
 }
+
+// SetReplay switches the processor into (or out of) replay mode.
+func (p *Proc) SetReplay(on bool) { p.replay = on }
+
+// Replaying reports whether the processor is in replay mode.
+func (p *Proc) Replaying() bool { return p.replay }
 
 // bind wires the embedded event objects and bound callbacks to the
 // processor (called once from node.New).
@@ -238,6 +250,9 @@ func (p *Proc) L2() *cache.Cache { return p.l2 }
 // Compute advances the local clock by c cycles of processor-internal
 // work (the instruction stream between memory references).
 func (p *Proc) Compute(c sim.Time) {
+	if p.replay {
+		return
+	}
 	p.now += c
 	p.Stats.BusyCycles += c
 	p.maybeYield()
@@ -245,12 +260,18 @@ func (p *Proc) Compute(c sim.Time) {
 
 // Read issues a load to virtual address va.
 func (p *Proc) Read(va mem.VAddr) {
+	if p.replay {
+		return
+	}
 	p.Stats.Reads++
 	p.access(va, false)
 }
 
 // Write issues a store to virtual address va.
 func (p *Proc) Write(va mem.VAddr) {
+	if p.replay {
+		return
+	}
 	p.Stats.Writes++
 	p.access(va, true)
 }
@@ -273,13 +294,17 @@ func (p *Proc) WriteRange(va mem.VAddr, bytes int) {
 
 // Barrier joins machine-wide barrier id (workload context).
 func (p *Proc) Barrier(id int) {
-	p.Stats.SyncOps++
+	if !p.replay {
+		p.Stats.SyncOps++
+	}
 	p.Sync.Barrier(p, id)
 }
 
 // Lock acquires machine-wide lock id.
 func (p *Proc) Lock(id int) {
-	p.Stats.SyncOps++
+	if !p.replay {
+		p.Stats.SyncOps++
+	}
 	p.Sync.Lock(p, id)
 }
 
@@ -434,6 +459,14 @@ func (p *Proc) translate(va mem.VAddr) mem.FrameID {
 // HWLock acquires the hardware queue lock backing va's sync-page line
 // (§3.2 synchronization pages), blocking until the home grants it.
 func (p *Proc) HWLock(va mem.VAddr) {
+	if p.replay {
+		// Consume the grant gate: blocks until the recorded holder has
+		// released, then returns with the lock logically held.
+		if p.Sync != nil && p.Sync.hook != nil {
+			p.Sync.hook.Gate(p, 'H', uint64(va))
+		}
+		return
+	}
 	g := p.n.geom
 	p.now += p.n.tm.L1Hit
 	f := p.translate(va)
@@ -443,11 +476,20 @@ func (p *Proc) HWLock(va mem.VAddr) {
 	p.n.e.AtEvent(p.now, &p.lockEv)
 	p.coro.Block()
 	p.Stats.StallCycles += p.now - start
+	if p.Sync != nil && p.Sync.hook != nil {
+		p.Sync.hook.Gate(p, 'H', uint64(va))
+	}
 }
 
 // HWUnlock releases the hardware queue lock (posted; the processor
 // does not wait for the home).
 func (p *Proc) HWUnlock(va mem.VAddr) {
+	if p.Sync != nil && p.Sync.hook != nil {
+		p.Sync.hook.Gate(p, 'U', uint64(va))
+	}
+	if p.replay {
+		return
+	}
 	g := p.n.geom
 	p.now += p.n.tm.L1Hit
 	f := p.translate(va)

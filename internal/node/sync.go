@@ -32,10 +32,31 @@ type SyncDomain struct {
 	barriers map[int]*barrierState
 	locks    map[int]*lockState
 
+	// hook, when non-nil, observes synchronization ordering (gate
+	// events) and barrier fills. It is installed only while a
+	// checkpoint is being recorded or replayed (core/checkpoint.go);
+	// normal runs never test it beyond one nil check per sync op.
+	hook SyncHook
+
 	// BarrierOps and LockOps count completed operations.
 	BarrierOps uint64
 	LockOps    uint64
 }
+
+// SyncHook observes the synchronization order of a run. Gate is called
+// at each ordering point — kind 'B' (barrier arrival), 'L' (software
+// lock acquisition), 'H' (hardware lock grant), 'U' (unlock) — and
+// BarrierFill at the instant the last processor arrives at a barrier
+// (the only point the machine can quiesce at). During replay, Gate
+// blocks the calling processor until the recorded log says it is its
+// turn, which reproduces the recorded synchronization order exactly.
+type SyncHook interface {
+	Gate(p *Proc, kind byte, id uint64)
+	BarrierFill(p *Proc, id int)
+}
+
+// SetHook installs (or clears, with nil) the synchronization hook.
+func (s *SyncDomain) SetHook(h SyncHook) { s.hook = h }
 
 // EnableHardwareLocks routes Lock/Unlock through the sync-page
 // protocol backed by the segment at base.
@@ -121,6 +142,9 @@ func (s *SyncDomain) Barrier(p *Proc, id int) {
 		b = &barrierState{}
 		s.barriers[id] = b
 	}
+	if s.hook != nil {
+		s.hook.Gate(p, 'B', uint64(id))
+	}
 	b.count++
 	if b.count == s.total {
 		b.count = 0
@@ -129,6 +153,9 @@ func (s *SyncDomain) Barrier(p *Proc, id int) {
 		// Release: wake everyone; each reloads the (invalidated)
 		// barrier line on the way out.
 		b.q.WakeAll(s.e, s.tm.SyncOp, 2)
+		if s.hook != nil {
+			s.hook.BarrierFill(p, id)
+		}
 	} else {
 		b.q.Wait(p.coro)
 		if t := s.e.Now(); t > p.now {
@@ -153,6 +180,13 @@ func (s *SyncDomain) Lock(p *Proc, id int) {
 		l = &lockState{}
 		s.locks[id] = l
 	}
+	// Replay consumes the acquisition gate before testing held: the
+	// gate blocks this processor until the recorded holder has run its
+	// 'U' gate, so the test below sees held == false exactly when the
+	// recorded run did.
+	if s.hook != nil && p.replay {
+		s.hook.Gate(p, 'L', uint64(id))
+	}
 	// Test-and-test&set semantics: a contended release wakes every
 	// spinner; each re-reads the (invalidated) lock line — the re-fetch
 	// storm queue locks were invented to avoid — and one wins the
@@ -163,6 +197,9 @@ func (s *SyncDomain) Lock(p *Proc, id int) {
 			p.now = t
 		}
 		p.Read(s.lockAddr(id))
+	}
+	if s.hook != nil && !p.replay {
+		s.hook.Gate(p, 'L', uint64(id))
 	}
 	l.held = true
 	s.LockOps++
@@ -180,6 +217,11 @@ func (s *SyncDomain) Unlock(p *Proc, id int) {
 	l := s.locks[id]
 	if l == nil || !l.held {
 		panic(fmt.Sprintf("sync: unlock of unheld lock %d", id))
+	}
+	// The unlock gate orders this release before any dependent
+	// acquisition in the recorded log (same site in both modes).
+	if s.hook != nil {
+		s.hook.Gate(p, 'U', uint64(id))
 	}
 	// Release store.
 	p.Write(s.lockAddr(id))

@@ -1,0 +1,152 @@
+package pit
+
+import (
+	"fmt"
+
+	"prism/internal/mem"
+	"prism/internal/sim"
+)
+
+// EntryState is one PIT entry's serializable state. RevBound records
+// whether this frame is the current winner in the reverse table for
+// its page (two frames can transiently bind the same page during
+// conversions; the reverse table keeps the last insert).
+type EntryState struct {
+	Frame          mem.FrameID
+	Mode           Mode
+	Seg            mem.GSID
+	Page           uint32
+	StaticHome     mem.NodeID
+	DynHome        mem.NodeID
+	HomeFrame      mem.FrameID
+	HomeFrameKnown bool
+	Tags           []Tag
+	Dirty          []bool
+	Touched        []bool
+	Caps           uint64
+	LastAccess     sim.Time
+	AccessCount    uint64
+	RemoteTraffic  uint64
+	RevBound       bool
+}
+
+// PITState is a node's complete PIT state.
+type PITState struct {
+	Entries []EntryState
+	Stats   Stats
+}
+
+// ExportState captures every valid entry in ascending frame order.
+// It panics on an in-transit line: checkpoints are only taken at
+// quiescence, where no protocol transaction is in flight.
+func (p *PIT) ExportState() PITState {
+	s := PITState{Stats: p.Stats}
+	p.Frames(func(f mem.FrameID, e *Entry) {
+		if e.transit != 0 {
+			panic(fmt.Sprintf("pit: ExportState with frame %d in transit", f))
+		}
+		es := EntryState{
+			Frame:          f,
+			Mode:           e.Mode,
+			Seg:            e.GPage.Seg,
+			Page:           e.GPage.Page,
+			StaticHome:     e.StaticHome,
+			DynHome:        e.DynHome,
+			HomeFrame:      e.HomeFrame,
+			HomeFrameKnown: e.HomeFrameKnown,
+			Caps:           e.Caps,
+			LastAccess:     e.LastAccess,
+			AccessCount:    e.AccessCount,
+			RemoteTraffic:  e.RemoteTraffic,
+		}
+		if e.Tags != nil {
+			es.Tags = append([]Tag(nil), e.Tags...)
+		}
+		if e.Dirty != nil {
+			es.Dirty = append([]bool(nil), e.Dirty...)
+		}
+		if e.Touched != nil {
+			es.Touched = append([]bool(nil), e.Touched...)
+		}
+		if e.Mode.Global() {
+			if rf, ok := p.revGet(e.GPage); ok && rf == f {
+				es.RevBound = true
+			}
+		}
+		s.Entries = append(s.Entries, es)
+	})
+	return s
+}
+
+// ImportState rebuilds the PIT from a snapshot, discarding all current
+// entries. The invalid/transit counters are recomputed from the tags;
+// reverse-table winners are re-established from RevBound so lookups
+// resolve exactly as they did at capture.
+func (p *PIT) ImportState(s PITState) {
+	p.low, p.high = nil, nil
+	p.revKeys, p.revVals = nil, nil
+	p.revLen, p.n = 0, 0
+	p.freeTags, p.freeBools = nil, nil
+	p.Stats = s.Stats
+
+	for _, es := range s.Entries {
+		var slot *Entry
+		if es.Frame < highBase {
+			slot = p.low.ensure(es.Frame)
+		} else {
+			slot = p.high.ensure(es.Frame - highBase)
+		}
+		e := Entry{
+			Mode:           es.Mode,
+			GPage:          mem.GPage{Seg: es.Seg, Page: es.Page},
+			StaticHome:     es.StaticHome,
+			DynHome:        es.DynHome,
+			HomeFrame:      es.HomeFrame,
+			HomeFrameKnown: es.HomeFrameKnown,
+			Caps:           es.Caps,
+			LastAccess:     es.LastAccess,
+			AccessCount:    es.AccessCount,
+			RemoteTraffic:  es.RemoteTraffic,
+		}
+		if es.Tags != nil {
+			e.Tags = append([]Tag(nil), es.Tags...)
+			for _, t := range e.Tags {
+				switch t {
+				case TagInvalid:
+					e.invalid++
+				case TagTransit:
+					e.transit++
+				}
+			}
+		}
+		if es.Dirty != nil {
+			e.Dirty = append([]bool(nil), es.Dirty...)
+		}
+		if es.Touched != nil {
+			e.Touched = append([]bool(nil), es.Touched...)
+		}
+		*slot = e
+		if e.Mode.Global() {
+			p.revPut(e.GPage, es.Frame)
+		}
+		p.n++
+	}
+	// Second pass: force the recorded reverse-table winners.
+	for _, es := range s.Entries {
+		if es.RevBound {
+			p.revPut(mem.GPage{Seg: es.Seg, Page: es.Page}, es.Frame)
+		}
+	}
+}
+
+// InTransitCount returns the number of frames with in-flight lines
+// (part of the capture layer's quiescence predicate).
+func (p *PIT) InTransitCount() int {
+	n := 0
+	p.Frames(func(_ mem.FrameID, e *Entry) {
+		if e.transit != 0 {
+			n++
+		}
+	})
+	return n
+}

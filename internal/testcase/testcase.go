@@ -1,0 +1,430 @@
+// Package testcase defines the .prismcase record/replay format: a
+// self-contained description of one simulation run — workload, seed,
+// configuration knobs, fault spec, optional embedded mid-run
+// checkpoint — plus the expected results recorded when the case was
+// created. A case replays bit-identically: verifying it reruns the
+// simulation (or restores the embedded checkpoint and resumes, which
+// skips the recomputation before the safe point) and compares results,
+// metrics and the sweep CSV row against the recorded expectations by
+// hash.
+//
+// Cases serialize through the snapshot envelope (versioned, hashed,
+// schema-fingerprinted), so a .prismcase file written by one build
+// refuses to load into a build whose state schema drifted without a
+// version bump. The committed corpus under testdata/cases/ is replayed
+// by `go test` and by the CI replay job via the prismcase CLI.
+package testcase
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prism/internal/core"
+	"prism/internal/fault"
+	"prism/internal/harness"
+	"prism/internal/metrics"
+	"prism/internal/policy"
+	"prism/internal/sim"
+	"prism/internal/snapshot"
+	"prism/workloads"
+)
+
+// Kind and Version identify the testcase payload in the snapshot
+// envelope. Bump Version whenever Case or any embedded state struct
+// changes shape; the envelope's schema fingerprint enforces this.
+const (
+	Kind    = "testcase"
+	Version = 1
+)
+
+// ChaosName selects the protocol fuzzer workload instead of a SPLASH
+// kernel.
+const ChaosName = "chaos"
+
+// Expect records the run outcome the case must reproduce.
+type Expect struct {
+	// Cycles is the parallel-phase execution time.
+	Cycles int64
+	// ResultsSHA256 hashes the canonical JSON of core.Results.
+	ResultsSHA256 string
+	// MetricsSHA256 hashes the canonical metrics export (every
+	// counter, gauge and histogram, plus interval samples when
+	// SampleEvery is set).
+	MetricsSHA256 string
+	// CSVRow is the run's sweep-CSV row (harness.FormatRow), the unit
+	// the CI replay job diffs against results_ci.csv.
+	CSVRow string
+}
+
+// Case is one replayable run.
+type Case struct {
+	Name     string
+	Workload string // a SPLASH workload name, or ChaosName
+	Size     string `json:",omitempty"` // mini|ci|paper (SPLASH workloads; default mini)
+	Policy   string // policy.ByName spelling
+
+	// Chaos knobs (ignored for SPLASH workloads).
+	Seed int64 `json:",omitempty"`
+	Ops  int   `json:",omitempty"` // per-proc op count; 0 = chaos default
+
+	// Machine-shape overrides; 0 keeps the workload default.
+	Nodes int `json:",omitempty"`
+	Procs int `json:",omitempty"`
+
+	// Configuration knobs mirroring the fuzz axes.
+	HardwareSync     bool   `json:",omitempty"`
+	DRAMPIT          bool   `json:",omitempty"` // PIT at DRAM speed (AccessTime 10)
+	PageCacheCaps    []int  `json:",omitempty"` // explicit per-node caps for capped policies
+	DynBothThreshold uint64 `json:",omitempty"`
+	FaultSpec        string `json:",omitempty"` // fault.ParseSpec syntax
+	SampleEvery      int64  `json:",omitempty"` // interval metric samples every N cycles
+
+	// CheckpointAt is the sim-time target the embedded checkpoint was
+	// requested at (the capture lands on the first quiescent barrier
+	// fill at or after it). Kept for provenance and re-creation.
+	CheckpointAt int64                 `json:",omitempty"`
+	Checkpoint   *core.MachineSnapshot `json:",omitempty"`
+
+	Expect *Expect `json:",omitempty"`
+}
+
+// chaosDefaults mirrors the fuzz harness configuration (small caches
+// for capacity pressure, four nodes, two procs each), so a fuzz
+// failure converts into a case that rebuilds the identical machine.
+func chaosDefaults() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Node.Procs = 2
+	cfg.Kernel.RealFrames = 4096
+	cfg.Node.L1.Size = 1 << 10
+	cfg.Node.L2.Size = 2 << 10
+	return cfg
+}
+
+func capped(polName string) bool {
+	return polName != "SCOMA" && polName != "LANUMA"
+}
+
+// Config builds the machine configuration the case describes.
+func (c *Case) Config() (core.Config, error) {
+	var cfg core.Config
+	if c.Workload == ChaosName {
+		cfg = chaosDefaults()
+	} else {
+		size, err := c.size()
+		if err != nil {
+			return cfg, err
+		}
+		cfg = workloads.ConfigForSize(size)
+	}
+	pol, err := policy.ByName(c.Policy)
+	if err != nil {
+		return cfg, err
+	}
+	if db, ok := pol.(policy.DynBoth); ok && c.DynBothThreshold > 0 {
+		db.Threshold = c.DynBothThreshold
+		pol = db
+	}
+	cfg.Policy = pol
+	if c.Nodes > 0 {
+		cfg.Nodes = c.Nodes
+	}
+	if c.Procs > 0 {
+		cfg.Node.Procs = c.Procs
+	}
+	switch {
+	case !capped(pol.Name()):
+		// Uncapped policies ignore page-cache caps.
+	case c.PageCacheCaps != nil:
+		cfg.PageCacheCaps = c.PageCacheCaps
+	case c.Workload == ChaosName:
+		// The fuzz harness default: tiny caps on every node.
+		caps := make([]int, cfg.Nodes)
+		for i := range caps {
+			caps[i] = 3
+		}
+		cfg.PageCacheCaps = caps
+	}
+	if c.HardwareSync {
+		cfg.HardwareSync = true
+	}
+	if c.DRAMPIT {
+		cfg.Node.PITConfig.AccessTime = 10
+	}
+	if c.FaultSpec != "" {
+		plan, err := fault.ParseSpec(c.FaultSpec)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Faults = plan
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func (c *Case) size() (workloads.Size, error) {
+	if c.Size == "" {
+		return workloads.MiniSize, nil
+	}
+	return harness.ParseSize(c.Size)
+}
+
+// NewWorkload builds a fresh workload instance (workloads carry Setup
+// state, so every run needs its own).
+func (c *Case) NewWorkload() (core.Workload, error) {
+	if c.Workload == ChaosName {
+		return core.ChaosWorkloadOps(c.Seed, c.Ops), nil
+	}
+	size, err := c.size()
+	if err != nil {
+		return nil, err
+	}
+	return workloads.ByName(c.Workload, size)
+}
+
+// Build assembles a fresh machine + workload pair for the case — the
+// raw ingredients, for callers (the fuzz harness) that drive the run
+// themselves instead of going through RunFull/RunReplay.
+func Build(c *Case) (*core.Machine, core.Workload, error) { return c.build() }
+
+// build assembles a fresh machine + workload pair, with interval
+// sampling armed when the case asks for it.
+func (c *Case) build() (*core.Machine, core.Workload, error) {
+	cfg, err := c.Config()
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.SampleEvery > 0 {
+		m.SampleMetrics(sim.Time(c.SampleEvery))
+	}
+	w, err := c.NewWorkload()
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, w, nil
+}
+
+// Outcome is what one execution of a case produced, in the same terms
+// Expect records.
+type Outcome struct {
+	Results core.Results
+	Export  *metrics.Export
+	Expect
+}
+
+func (c *Case) outcome(m *core.Machine, res core.Results) (*Outcome, error) {
+	rj, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	ex := m.ExportMetrics(c.Workload, res.Policy)
+	var mb bytes.Buffer
+	if err := ex.WriteJSON(&mb); err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Results: res,
+		Export:  ex,
+		Expect: Expect{
+			Cycles:        int64(res.Cycles),
+			ResultsSHA256: snapshot.HashBytes(rj),
+			MetricsSHA256: snapshot.HashBytes(mb.Bytes()),
+			CSVRow:        harness.FormatRow(c.Workload, res.Policy, res),
+		},
+	}, nil
+}
+
+// RunFull executes the case from the beginning, uninterrupted, and
+// audits the global invariants.
+func (c *Case) RunFull() (*Outcome, error) {
+	m, w, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return c.outcome(m, res)
+}
+
+// RunReplay restores the embedded checkpoint on a fresh machine and
+// resumes to completion — the zero-recomputation path before the safe
+// point. The case must carry a checkpoint.
+func (c *Case) RunReplay() (*Outcome, error) {
+	if c.Checkpoint == nil {
+		return nil, fmt.Errorf("testcase %s: no embedded checkpoint", c.Name)
+	}
+	m, w, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RestoreSnapshot(w, c.Checkpoint); err != nil {
+		return nil, err
+	}
+	res, err := m.Resume(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return c.outcome(m, res)
+}
+
+// Run replays the case the cheapest correct way: restore + resume when
+// a checkpoint is embedded, a full run otherwise.
+func (c *Case) Run() (*Outcome, error) {
+	if c.Checkpoint != nil {
+		return c.RunReplay()
+	}
+	return c.RunFull()
+}
+
+// Create executes the case, records the expected outcome, captures the
+// embedded checkpoint when CheckpointAt is set, and self-checks that
+// the replay path reproduces the full run before the case is handed
+// out. A CheckpointAt that lands on no quiescent barrier fill surfaces
+// as an error wrapping core.ErrNoQuiescentFill.
+func Create(c *Case) error {
+	m, w, err := c.build()
+	if err != nil {
+		return fmt.Errorf("testcase %s: %w", c.Name, err)
+	}
+	var res core.Results
+	if c.CheckpointAt > 0 {
+		snap, r, err := m.RecordCheckpoint(w, sim.Time(c.CheckpointAt))
+		if err != nil {
+			return fmt.Errorf("testcase %s: %w", c.Name, err)
+		}
+		c.Checkpoint = snap
+		res = r
+	} else {
+		res, err = m.Run(w)
+		if err != nil {
+			return fmt.Errorf("testcase %s: %w", c.Name, err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return fmt.Errorf("testcase %s: %w", c.Name, err)
+	}
+	o, err := c.outcome(m, res)
+	if err != nil {
+		return fmt.Errorf("testcase %s: %w", c.Name, err)
+	}
+	c.Expect = &o.Expect
+	if c.Checkpoint != nil {
+		ro, err := c.RunReplay()
+		if err != nil {
+			return fmt.Errorf("testcase %s: replay self-check: %w", c.Name, err)
+		}
+		if ro.Expect != o.Expect {
+			return fmt.Errorf("testcase %s: replay self-check diverged from the full run:\n full:   %+v\n replay: %+v",
+				c.Name, o.Expect, ro.Expect)
+		}
+	}
+	return nil
+}
+
+// Verify replays the case both ways — full run, and restore + resume
+// when a checkpoint is embedded — and checks every recorded
+// expectation. It returns the full-run outcome and a nil error only
+// when everything matches.
+func (c *Case) Verify() (*Outcome, error) {
+	if c.Expect == nil {
+		return nil, fmt.Errorf("testcase %s: no recorded expectations (not created?)", c.Name)
+	}
+	var problems []string
+	full, err := c.RunFull()
+	if err != nil {
+		return nil, fmt.Errorf("testcase %s: full run: %w", c.Name, err)
+	}
+	problems = append(problems, diffExpect("full run", &full.Expect, c.Expect)...)
+	if c.Checkpoint != nil {
+		rep, err := c.RunReplay()
+		if err != nil {
+			return full, fmt.Errorf("testcase %s: replay: %w", c.Name, err)
+		}
+		problems = append(problems, diffExpect("replay", &rep.Expect, c.Expect)...)
+	}
+	if len(problems) > 0 {
+		return full, fmt.Errorf("testcase %s diverged:\n  %s", c.Name, strings.Join(problems, "\n  "))
+	}
+	return full, nil
+}
+
+func diffExpect(path string, got, want *Expect) []string {
+	var out []string
+	if got.Cycles != want.Cycles {
+		out = append(out, fmt.Sprintf("%s: cycles %d, want %d", path, got.Cycles, want.Cycles))
+	}
+	if got.ResultsSHA256 != want.ResultsSHA256 {
+		out = append(out, fmt.Sprintf("%s: results hash %s, want %s", path, got.ResultsSHA256, want.ResultsSHA256))
+	}
+	if got.MetricsSHA256 != want.MetricsSHA256 {
+		out = append(out, fmt.Sprintf("%s: metrics hash %s, want %s", path, got.MetricsSHA256, want.MetricsSHA256))
+	}
+	if want.CSVRow != "" && got.CSVRow != want.CSVRow {
+		out = append(out, fmt.Sprintf("%s: csv row\n    got  %q\n    want %q", path, got.CSVRow, want.CSVRow))
+	}
+	return out
+}
+
+// Write serializes the case into the snapshot envelope, gzipped — an
+// embedded checkpoint runs to megabytes of JSON otherwise. Read (via
+// snapshot.Decode) accepts both gzipped and plain streams.
+func Write(w io.Writer, c *Case) error {
+	if c.Name == "" || c.Workload == "" || c.Policy == "" {
+		return fmt.Errorf("testcase: name, workload and policy are required")
+	}
+	return snapshot.EncodeGzip(w, Kind, Version, c)
+}
+
+// Read deserializes a case, enforcing envelope integrity and schema.
+func Read(r io.Reader) (*Case, error) {
+	var c Case
+	if err := snapshot.Decode(r, Kind, Version, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Save writes the case to path.
+func Save(path string, c *Case) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads the case at path.
+func Load(path string) (*Case, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}

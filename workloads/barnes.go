@@ -24,7 +24,16 @@ type Barnes struct {
 	vel  [][3]float64
 	mass []float64
 
-	nodes []bhNode
+	// The node pool is partitioned into per-octant arenas (root at
+	// index 0, octant o owning [1+o*arenaCap, 1+(o+1)*arenaCap)), so
+	// every node slot is written only under that octant's lock. A
+	// single shared append-pool would let two processors holding
+	// different octant locks interleave allocations, making node
+	// indices (and hence the address stream) depend on sub-gate
+	// scheduling — which checkpoint replay cannot reproduce.
+	nodes    []bhNode
+	used     [8]int32
+	arenaCap int32
 }
 
 const (
@@ -69,6 +78,8 @@ func (w *Barnes) Setup(m *prism.Machine) error {
 	w.pos = make([][3]float64, w.n)
 	w.vel = make([][3]float64, w.n)
 	w.mass = make([]float64, w.n)
+	w.nodes = make([]bhNode, 4*w.n)
+	w.arenaCap = int32((4*w.n - 1) / 8)
 	return nil
 }
 
@@ -109,11 +120,17 @@ func (w *Barnes) Run(ctx *prism.Ctx) {
 			p.Read(w.bodyAddr(i))
 			oct := w.octant(&w.nodes[0], int32(i))
 			p.Lock(16 + oct)
-			visited := w.insert(0, int32(i))
+			visited, leaf := w.insert(0, int32(i), oct)
 			for v := 0; v < visited && v < 24; v++ {
-				p.Read(w.nodeAddr(v)) // path nodes (bounded charge)
+				// Path-node charge: root, then the locked octant's
+				// earliest arena slots stand in for the descent path.
+				ni := 0
+				if v > 0 {
+					ni = int(1 + int32(oct)*w.arenaCap + int32(v-1))
+				}
+				p.Read(w.nodeAddr(ni))
 			}
-			p.WriteRange(w.nodeAddr(len(w.nodes)-1), nodeBytes)
+			p.WriteRange(w.nodeAddr(int(leaf)), nodeBytes)
 			p.Compute(prism.Time(visited) * 8)
 			p.Unlock(16 + oct)
 		}
@@ -122,10 +139,8 @@ func (w *Barnes) Run(ctx *prism.Ctx) {
 		// reduction pass over the finished tree, as in the original).
 		if ctx.ID == 0 {
 			w.summarize(0)
-			for i := range w.nodes {
-				p.Write(w.nodeAddr(i) + 32)
-			}
-			p.Compute(prism.Time(len(w.nodes)) * 4)
+			w.eachNode(func(i int) { p.Write(w.nodeAddr(i) + 32) })
+			p.Compute(prism.Time(w.nodeCount()) * 4)
 		}
 		p.Barrier(5)
 
@@ -162,14 +177,47 @@ func (w *Barnes) Run(ctx *prism.Ctx) {
 	ctx.EndParallel()
 }
 
-// resetTree clears the octree, leaving an empty root.
+// resetTree clears the octree, leaving an empty root. Stale nodes in
+// the arenas are left in place — they are unreachable once the per-
+// octant allocation counters rewind.
 func (w *Barnes) resetTree() {
-	w.nodes = w.nodes[:0]
 	root := bhNode{half: 2.5, body: -1}
 	for i := range root.child {
 		root.child[i] = -1
 	}
-	w.nodes = append(w.nodes, root)
+	w.nodes[0] = root
+	w.used = [8]int32{}
+}
+
+// alloc takes a fresh node slot from octant o's arena, returning -1
+// when the arena is exhausted (the caller merges the body instead).
+func (w *Barnes) alloc(o int) int32 {
+	if w.used[o] >= w.arenaCap {
+		return -1
+	}
+	idx := 1 + int32(o)*w.arenaCap + w.used[o]
+	w.used[o]++
+	return idx
+}
+
+// nodeCount returns the number of live nodes (root plus arena use).
+func (w *Barnes) nodeCount() int {
+	n := 1
+	for o := range w.used {
+		n += int(w.used[o])
+	}
+	return n
+}
+
+// eachNode calls fn for every live node index.
+func (w *Barnes) eachNode(fn func(i int)) {
+	fn(0)
+	for o := range w.used {
+		base := 1 + int32(o)*w.arenaCap
+		for k := int32(0); k < w.used[o]; k++ {
+			fn(int(base + k))
+		}
+	}
 }
 
 func (w *Barnes) octant(n *bhNode, b int32) int {
@@ -195,9 +243,11 @@ func (w *Barnes) childCenter(n *bhNode, o int) ([3]float64, float64) {
 	return c, h
 }
 
-// insert places body b under node ni, returning the number of nodes
-// visited (the traffic the inserting processor is charged for).
-func (w *Barnes) insert(ni int, b int32) int {
+// insert places body b under node ni, allocating from octant arena's
+// pool, and returns the number of nodes visited (the traffic the
+// inserting processor is charged for) plus the index of the node the
+// body landed in.
+func (w *Barnes) insert(ni int, b int32, arena int) (int, int32) {
 	visited := 0
 	for depth := 0; depth < 64; depth++ {
 		visited++
@@ -206,29 +256,35 @@ func (w *Barnes) insert(ni int, b int32) int {
 		ci := n.child[o]
 		if ci < 0 {
 			// Empty slot: place a leaf.
+			idx := w.alloc(arena)
+			if idx < 0 {
+				// Arena exhausted: merge into the current node.
+				w.nodes[ni].mass += w.mass[b]
+				return visited, int32(ni)
+			}
 			c, h := w.childCenter(n, o)
 			leaf := bhNode{center: c, half: h, body: b}
 			for i := range leaf.child {
 				leaf.child[i] = -1
 			}
-			w.nodes = append(w.nodes, leaf)
-			w.nodes[ni].child[o] = int32(len(w.nodes) - 1)
-			return visited
+			w.nodes[idx] = leaf
+			w.nodes[ni].child[o] = idx
+			return visited, idx
 		}
 		child := &w.nodes[ci]
 		if child.body >= 0 {
 			// Split the leaf: push its body down, then retry.
 			old := child.body
 			child.body = -1
-			visited += w.insert(int(ci), old)
-			visited += w.insert(int(ci), b)
-			return visited
+			v1, _ := w.insert(int(ci), old, arena)
+			v2, last := w.insert(int(ci), b, arena)
+			return visited + v1 + v2, last
 		}
 		ni = int(ci)
 	}
 	// Coincident points beyond max depth: merge into the node's mass.
 	w.nodes[ni].mass += w.mass[b]
-	return visited
+	return visited, int32(ni)
 }
 
 // summarize computes masses and centers of mass bottom-up.
