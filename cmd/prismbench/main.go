@@ -29,6 +29,7 @@ import (
 )
 
 func main() {
+	defer harness.HandlePanic("prismbench")
 	var cli harness.CLI
 	exp := flag.String("exp", "all", "experiments: table1,table2,fig7,table3,table4,table5,pit,all")
 	cli.RegisterSize(flag.CommandLine, "ci")

@@ -36,6 +36,7 @@ import (
 )
 
 func main() {
+	defer harness.HandlePanic("prismsim")
 	var cli harness.CLI
 	app := flag.String("app", "fft", "application (comma-separated list allowed): barnes|fft|lu|mp3d|ocean|radix|water-nsq|water-spa")
 	pol := flag.String("policy", "SCOMA", "policy (comma-separated list allowed): SCOMA|LANUMA|SCOMA-70|Dyn-FCFS|Dyn-Util|Dyn-LRU")

@@ -27,6 +27,7 @@ import (
 )
 
 func main() {
+	defer harness.HandlePanic("prismstat")
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 

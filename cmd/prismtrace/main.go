@@ -21,6 +21,7 @@ import (
 )
 
 func main() {
+	defer harness.HandlePanic("prismtrace")
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "prismtrace:", err)
 		os.Exit(1)
@@ -60,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sc.OpsPerIter = *ops
 		sc.WritePct = *writes
 		sc.RandomPct = *random
+		if err := sc.Validate(); err != nil {
+			return err
+		}
 		w = workloads.NewSynth(sc)
 	} else {
 		if w, err = workloads.ByName(*app, size); err != nil {

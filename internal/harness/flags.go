@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 
 	"prism/internal/fault"
 	"prism/internal/sim"
@@ -38,7 +40,7 @@ func NewFlagSet(name string, out io.Writer) *flag.FlagSet {
 
 // RegisterSize registers -size with default def ("mini", "ci", "paper").
 func (c *CLI) RegisterSize(fs *flag.FlagSet, def string) {
-	fs.StringVar(&c.SizeName, "size", def, "data-set size: mini|ci|paper")
+	fs.StringVar(&c.SizeName, "size", def, "data-set size: "+strings.Join(SizeNames, "|"))
 }
 
 // RegisterParallel registers the worker-pool pair -j / -seq.
@@ -83,15 +85,36 @@ func (c *CLI) SampleEvery() sim.Time { return sim.Time(c.Sample) }
 // (nil, nil), the perfect fabric.
 func (c *CLI) FaultPlan() (*fault.Plan, error) { return fault.ParseSpec(c.FaultSpec) }
 
-// ParseSize maps a -size value to a workload size.
+// SizeNames lists the valid -size spellings in ascending scale order —
+// the single source for flag help text, error messages and validation.
+var SizeNames = []string{
+	workloads.MiniSize.String(),
+	workloads.CISize.String(),
+	workloads.PaperSize.String(),
+}
+
+// ParseSize maps a -size value to a workload size. The error names
+// every valid size, so a mistyped flag is self-explanatory.
 func ParseSize(s string) (workloads.Size, error) {
 	switch s {
-	case "mini":
+	case workloads.MiniSize.String():
 		return workloads.MiniSize, nil
-	case "ci":
+	case workloads.CISize.String():
 		return workloads.CISize, nil
-	case "paper":
+	case workloads.PaperSize.String():
 		return workloads.PaperSize, nil
 	}
-	return 0, fmt.Errorf("unknown size %q (mini|ci|paper)", s)
+	return 0, fmt.Errorf("unknown size %q (valid sizes: %s)", s, strings.Join(SizeNames, ", "))
+}
+
+// HandlePanic is the CLI-wide backstop every prism command defers at
+// the top of main: an escaped panic (a bad flag combination reaching a
+// model invariant, an internal bug) becomes the same contract as any
+// other CLI failure — one line on stderr and a non-zero exit — instead
+// of a goroutine dump.
+func HandlePanic(tool string) {
+	if r := recover(); r != nil {
+		fmt.Fprintf(os.Stderr, "%s: fatal: %v\n", tool, r)
+		os.Exit(1)
+	}
 }

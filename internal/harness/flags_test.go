@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"prism/internal/fault"
@@ -85,6 +86,23 @@ func TestCLIBadValues(t *testing.T) {
 	}
 	if _, err := cli.FaultPlan(); err == nil {
 		t.Error("fault rate 2 accepted")
+	}
+}
+
+// TestParseSizeErrorNamesValidSizes: a mistyped -size must tell the
+// user every accepted spelling, and every listed spelling must parse.
+func TestParseSizeErrorNamesValidSizes(t *testing.T) {
+	_, err := ParseSize("huge")
+	if err == nil {
+		t.Fatal("size huge accepted")
+	}
+	for _, name := range SizeNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid size %q", err, name)
+		}
+		if _, perr := ParseSize(name); perr != nil {
+			t.Errorf("listed size %q does not parse: %v", name, perr)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -62,8 +63,23 @@ type Options struct {
 	// rates zero and nothing scripted — keeps the perfect fabric and
 	// byte-identical output.
 	Faults *fault.Plan
+	// Context, when non-nil, lets a caller abort an in-flight sweep.
+	// Cancellation is observed at cell boundaries: the cells already
+	// running finish (a simulation cannot be interrupted mid-run
+	// without losing determinism), no new cell starts, and Run returns
+	// the completed cells as partial results together with the
+	// context's error. nil behaves like context.Background().
+	Context context.Context
 
 	logMu *sync.Mutex
+}
+
+// ctx resolves the sweep context.
+func (o *Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o *Options) defaults() {
@@ -183,6 +199,12 @@ func capsFor(scoma prism.Results, frac float64) []int {
 // executes the remaining app × policy cells. Each cell builds a
 // private Machine, so the aggregation — and the resulting CSV — is
 // byte-identical to the sequential path's.
+//
+// When Options.Context is canceled mid-sweep, Run stops at the next
+// cell boundary and returns the cells completed so far (apps whose
+// ByPol map may cover only a subset of the requested policies)
+// alongside the context's error, so callers can report partial
+// progress instead of losing the whole sweep.
 func Run(opts Options) ([]AppRun, error) {
 	opts.defaults()
 	if opts.MetricsDir != "" {
@@ -198,14 +220,18 @@ func Run(opts Options) ([]AppRun, error) {
 
 // runSequential is the original single-goroutine sweep loop.
 func runSequential(opts *Options) ([]AppRun, error) {
+	ctx := opts.ctx()
 	var out []AppRun
 	for _, app := range opts.Apps {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("harness: sweep aborted: %w", err)
+		}
 		opts.logf("%s:", app)
 		ar := AppRun{App: app, ByPol: make(map[string]prism.Results)}
 
 		scoma, err := opts.runOne(app, "SCOMA", nil)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		ar.ByPol["SCOMA"] = scoma
 		ar.Caps = capsFor(scoma, opts.CapFraction)
@@ -214,9 +240,14 @@ func runSequential(opts *Options) ([]AppRun, error) {
 			if pol == "SCOMA" {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				out = append(out, ar)
+				return out, fmt.Errorf("harness: sweep aborted: %w", err)
+			}
 			res, err := opts.runOne(app, pol, ar.Caps)
 			if err != nil {
-				return nil, err
+				out = append(out, ar)
+				return out, err
 			}
 			ar.ByPol[pol] = res
 		}
@@ -343,8 +374,12 @@ func RunPITSweep(opts Options) ([]PITRow, error) {
 	if opts.workers() > 1 {
 		return runPITParallel(&opts)
 	}
+	ctx := opts.ctx()
 	var out []PITRow
 	for _, app := range opts.Apps {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("harness: sweep aborted: %w", err)
+		}
 		opts.logf("%s (PIT sweep):", app)
 		fastOpts := opts
 		fastOpts.PITAccess = 2

@@ -10,6 +10,8 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -17,55 +19,77 @@ import (
 )
 
 // forEachIndexed runs fn(0), ..., fn(n-1) on up to w concurrent
-// workers, each call exactly once. All indices run even if some fail;
-// the returned error is the lowest-indexed failure — the same cell a
-// sequential loop would have reported first — so error behaviour is
-// deterministic regardless of scheduling.
-func forEachIndexed(n, w int, fn func(i int) error) error {
+// workers, each call at most once. Without cancellation all indices
+// run even if some fail; the returned error is the lowest-indexed
+// failure — the same cell a sequential loop would have reported first
+// — so error behaviour is deterministic regardless of scheduling. When
+// ctx is canceled, workers stop claiming new indices (calls already
+// running finish) and the context error is returned after any recorded
+// cell failure. done[i] reports whether fn(i) ran to a nil error.
+func forEachIndexed(ctx context.Context, n, w int, fn func(i int) error) (done []bool, err error) {
 	if w > n {
 		w = n
 	}
+	done = make([]bool, n)
+	errs := make([]error, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if ctx.Err() != nil {
+				break
 			}
+			if errs[i] = fn(i); errs[i] != nil {
+				return done, errs[i]
+			}
+			done[i] = true
 		}
-		return nil
+		return done, firstError(errs, ctx)
 	}
 	var next int64 = -1
-	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if errs[i] = fn(i); errs[i] == nil {
+					done[i] = true
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return done, firstError(errs, ctx)
+}
+
+// firstError resolves the deterministic sweep error: the lowest-indexed
+// cell failure wins; a clean-but-canceled sweep reports the context.
+func firstError(errs []error, ctx context.Context) error {
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("harness: sweep aborted: %w", err)
+	}
 	return nil
 }
 
-// runParallel executes the sweep on a worker pool in two waves.
+// runParallel executes the sweep on a worker pool in two waves. On
+// cancellation it aggregates and returns only the cells that completed
+// before the abort, alongside the context error.
 func runParallel(o *Options) ([]AppRun, error) {
+	ctx := o.ctx()
 	w := o.workers()
 	runs := make([]AppRun, len(o.Apps))
 
 	// Pass 1: SCOMA sizing for every app.
 	o.logf("pass 1: SCOMA sizing, %d apps on %d workers", len(o.Apps), w)
-	err := forEachIndexed(len(o.Apps), w, func(i int) error {
+	sized, err := forEachIndexed(ctx, len(o.Apps), w, func(i int) error {
 		scoma, err := o.runOne(o.Apps[i], "SCOMA", nil)
 		if err != nil {
 			return err
@@ -78,7 +102,7 @@ func runParallel(o *Options) ([]AppRun, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return collectDone(runs, sized), err
 	}
 
 	// Pass 2: every remaining app × policy cell.
@@ -94,7 +118,7 @@ func runParallel(o *Options) ([]AppRun, error) {
 	}
 	o.logf("pass 2: %d cells on %d workers", len(cells), w)
 	results := make([]prism.Results, len(cells))
-	err = forEachIndexed(len(cells), w, func(i int) error {
+	ran, err := forEachIndexed(ctx, len(cells), w, func(i int) error {
 		c := cells[i]
 		res, err := o.runOne(o.Apps[c.app], o.Policies[c.pol], runs[c.app].Caps)
 		if err != nil {
@@ -103,21 +127,36 @@ func runParallel(o *Options) ([]AppRun, error) {
 		results[i] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for i, c := range cells {
-		runs[c.app].ByPol[o.Policies[c.pol]] = results[i]
+		if ran[i] {
+			runs[c.app].ByPol[o.Policies[c.pol]] = results[i]
+		}
+	}
+	if err != nil {
+		return collectDone(runs, sized), err
 	}
 	return runs, nil
 }
 
+// collectDone keeps the app runs whose sizing pass completed (partial
+// per-policy coverage included), preserving app order.
+func collectDone(runs []AppRun, sized []bool) []AppRun {
+	var out []AppRun
+	for i, ar := range runs {
+		if i < len(sized) && sized[i] && ar.ByPol != nil {
+			out = append(out, ar)
+		}
+	}
+	return out
+}
+
 // runPITParallel executes the §4.3 PIT sweep's 2×apps cells on a pool.
 func runPITParallel(o *Options) ([]PITRow, error) {
+	ctx := o.ctx()
 	w := o.workers()
 	o.logf("PIT sweep: %d cells on %d workers", 2*len(o.Apps), w)
 	results := make([]prism.Results, 2*len(o.Apps))
-	err := forEachIndexed(len(results), w, func(i int) error {
+	ran, err := forEachIndexed(ctx, len(results), w, func(i int) error {
 		cellOpts := *o
 		if i%2 == 0 {
 			cellOpts.PITAccess = 2
@@ -131,18 +170,18 @@ func runPITParallel(o *Options) ([]PITRow, error) {
 		results[i] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]PITRow, len(o.Apps))
+	var out []PITRow
 	for i, app := range o.Apps {
+		if !ran[2*i] || !ran[2*i+1] {
+			continue
+		}
 		fast, slow := results[2*i], results[2*i+1]
-		out[i] = PITRow{
+		out = append(out, PITRow{
 			App:      app,
 			Fast:     fast.Cycles,
 			Slow:     slow.Cycles,
 			Increase: float64(slow.Cycles)/float64(fast.Cycles) - 1,
-		}
+		})
 	}
-	return out, nil
+	return out, err
 }

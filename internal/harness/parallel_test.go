@@ -2,6 +2,8 @@ package harness
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"regexp"
@@ -133,9 +135,10 @@ func TestParallelErrorIsDeterministic(t *testing.T) {
 // TestForEachIndexed covers the pool helper directly: every index runs
 // exactly once and the lowest-indexed error wins.
 func TestForEachIndexed(t *testing.T) {
+	ctx := context.Background()
 	const n = 100
 	var calls [n]int32
-	err := forEachIndexed(n, 7, func(i int) error {
+	done, err := forEachIndexed(ctx, n, 7, func(i int) error {
 		atomic.AddInt32(&calls[i], 1)
 		if i == 13 || i == 60 {
 			return fmt.Errorf("cell %d failed", i)
@@ -150,14 +153,48 @@ func TestForEachIndexed(t *testing.T) {
 	if err == nil || err.Error() != "cell 13 failed" {
 		t.Errorf("err = %v, want cell 13's", err)
 	}
-	if err := forEachIndexed(4, 2, func(int) error { return nil }); err != nil {
+	if done[13] || done[60] || !done[0] || !done[99] {
+		t.Errorf("done flags wrong: done[13]=%v done[60]=%v done[0]=%v done[99]=%v",
+			done[13], done[60], done[0], done[99])
+	}
+	if _, err := forEachIndexed(ctx, 4, 2, func(int) error { return nil }); err != nil {
 		t.Errorf("clean pool returned %v", err)
 	}
 	var seq []int
-	if err := forEachIndexed(3, 1, func(i int) error { seq = append(seq, i); return nil }); err != nil {
+	if _, err := forEachIndexed(ctx, 3, 1, func(i int) error { seq = append(seq, i); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(seq, []int{0, 1, 2}) {
 		t.Errorf("w=1 order %v, want in-order", seq)
+	}
+}
+
+// TestForEachIndexedCancel: canceling the context stops the pool from
+// claiming new indices and surfaces the context error.
+func TestForEachIndexedCancel(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		done, err := forEachIndexed(ctx, 1000, w, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			cancel()
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("w=%d: err = %v, want context.Canceled", w, err)
+		}
+		// At most one in-flight call per worker after the cancel.
+		if n := atomic.LoadInt32(&ran); n > int32(2*w) {
+			t.Errorf("w=%d: %d calls ran after cancellation", w, n)
+		}
+		var completed int
+		for _, d := range done {
+			if d {
+				completed++
+			}
+		}
+		if completed != int(ran) {
+			t.Errorf("w=%d: done reports %d, %d calls ran", w, completed, ran)
+		}
 	}
 }

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"prism/internal/testcase"
+)
+
+func normalized(t *testing.T, s Spec) *Spec {
+	t.Helper()
+	if err := s.Normalize(); err != nil {
+		t.Fatalf("Normalize(%+v): %v", s, err)
+	}
+	return &s
+}
+
+// Sparse and fully-spelled submissions of the same experiment must
+// share a cache key.
+func TestDigestCanonicalization(t *testing.T) {
+	sparse := normalized(t, Spec{})
+	spelled := normalized(t, Spec{
+		Size:        "ci",
+		Apps:        sparse.Apps,
+		Policies:    sparse.Policies,
+		CapFraction: 0.70,
+	})
+	if sparse.Digest() != spelled.Digest() {
+		t.Errorf("sparse %q != spelled-out %q", sparse.Digest(), spelled.Digest())
+	}
+
+	lower := normalized(t, Spec{Apps: []string{"fft"}, Policies: []string{"scoma"}})
+	upper := normalized(t, Spec{Apps: []string{"fft"}, Policies: []string{"SCOMA"}})
+	if lower.Digest() != upper.Digest() {
+		t.Errorf("policy-name case changed digest: %q != %q", lower.Digest(), upper.Digest())
+	}
+}
+
+// Every knob must feed the digest: flipping any single one produces a
+// distinct key.
+func TestDigestDistinctPerKnob(t *testing.T) {
+	base := Spec{Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}}
+	variants := map[string]Spec{
+		"size":         {Size: "ci", Apps: []string{"fft"}, Policies: []string{"SCOMA"}},
+		"app":          {Size: "mini", Apps: []string{"lu"}, Policies: []string{"SCOMA"}},
+		"extra app":    {Size: "mini", Apps: []string{"fft", "lu"}, Policies: []string{"SCOMA"}},
+		"policy":       {Size: "mini", Apps: []string{"fft"}, Policies: []string{"LANUMA"}},
+		"cap fraction": {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, CapFraction: 0.5},
+		"pit access":   {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, PITAccess: 10},
+		"fault spec":   {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, Faults: "drop=0.01"},
+		"fault seed":   {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, Faults: "drop=0.01,seed=7"},
+		"sample every": {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, SampleEvery: 1000},
+		// Metrics selects which artifacts the cached result carries
+		// (per-cell exports or not), so it splits the key too.
+		"metrics": {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, Metrics: true},
+	}
+	seen := map[string]string{normalized(t, base).Digest(): "base"}
+	for name, v := range variants {
+		d := normalized(t, v).Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("variant %q collides with %q (digest %s)", name, prev, d)
+		}
+		seen[d] = name
+	}
+}
+
+// A simulator schema change (serialized machine state, CSV row format
+// or metrics export version) must invalidate every cached digest.
+func TestDigestSchemaBump(t *testing.T) {
+	s := normalized(t, Spec{Apps: []string{"fft"}, Policies: []string{"SCOMA"}})
+	now := s.Digest()
+	if bumped := s.digestWith(schemaMaterial() + "+v-next"); bumped == now {
+		t.Errorf("schema bump did not change the digest")
+	}
+	if s.digestWith(schemaMaterial()) != now {
+		t.Errorf("digestWith(schemaMaterial()) disagrees with Digest()")
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	bad := map[string]Spec{
+		"size":             {Size: "huge"},
+		"app":              {Apps: []string{"nosuch"}},
+		"duplicate app":    {Apps: []string{"fft", "fft"}},
+		"policy":           {Policies: []string{"nosuch"}},
+		"duplicate policy": {Policies: []string{"SCOMA", "scoma"}},
+		"cap fraction":     {CapFraction: 1.5},
+		"fault spec":       {Faults: "drop=yes"},
+	}
+	for name, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("Normalize accepted bad %s: %+v", name, s)
+		}
+	}
+	// ParseSize errors must name the valid sizes (the CLI satellite).
+	s := Spec{Size: "huge"}
+	err := s.Normalize()
+	for _, want := range []string{"mini", "ci", "paper"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("size error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestSpecCaseRoundTrip(t *testing.T) {
+	spec := normalized(t, Spec{
+		Size:        "mini",
+		Apps:        []string{"fft"},
+		Policies:    []string{"SCOMA-70"},
+		PITAccess:   10,
+		Faults:      "drop=0.01,seed=3",
+		SampleEvery: 500,
+	})
+	c, err := spec.CaseFor("fft", "SCOMA-70", []int{40, 40, 40, 40})
+	if err != nil {
+		t.Fatalf("CaseFor: %v", err)
+	}
+	if !c.DRAMPIT || c.FaultSpec != spec.Faults || c.SampleEvery != 500 {
+		t.Errorf("case lost knobs: %+v", c)
+	}
+	// The case carries derived caps, which SpecFromCase refuses (the
+	// sweep sizes its own); strip them as a sweep-reproducible case.
+	c.PageCacheCaps = nil
+	back, err := SpecFromCase(c)
+	if err != nil {
+		t.Fatalf("SpecFromCase: %v", err)
+	}
+	if back.Digest() != spec.Digest() {
+		t.Errorf("round trip changed digest:\n  spec %+v\n  back %+v", spec, back)
+	}
+
+	if _, err := spec.CaseFor("lu", "SCOMA-70", nil); err == nil {
+		t.Errorf("CaseFor accepted a cell outside the spec")
+	}
+}
+
+func TestSpecFromCaseRejectsNonSweepCases(t *testing.T) {
+	bad := map[string]*testcase.Case{
+		"chaos":      {Name: "x", Workload: testcase.ChaosName, Policy: "SCOMA"},
+		"checkpoint": {Name: "x", Workload: "fft", Policy: "SCOMA", CheckpointAt: 100},
+		"shape":      {Name: "x", Workload: "fft", Policy: "SCOMA", Nodes: 2},
+		"hwsync":     {Name: "x", Workload: "fft", Policy: "SCOMA", HardwareSync: true},
+		"caps":       {Name: "x", Workload: "fft", Policy: "SCOMA", PageCacheCaps: []int{1}},
+	}
+	for name, c := range bad {
+		if _, err := SpecFromCase(c); err == nil {
+			t.Errorf("SpecFromCase accepted %s case", name)
+		}
+	}
+}

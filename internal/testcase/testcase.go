@@ -45,6 +45,20 @@ const (
 // kernel.
 const ChaosName = "chaos"
 
+// SchemaFingerprint identifies the simulator's serialized-state schema:
+// the testcase format version and structural fingerprint (which, via
+// the embedded checkpoint, covers the full MachineSnapshot shape) plus
+// the checkpoint version. Anything that invalidates recorded results —
+// a model state change, a knob added to Case — changes this string, so
+// it is the piece of a content-addressed result-cache key that ties
+// cached outputs to the build's simulation semantics (prismd's
+// look-aside cache keys on it; see internal/server).
+func SchemaFingerprint() string {
+	return fmt.Sprintf("%s/v%d/%s+checkpoint/v%d/%s",
+		Kind, Version, snapshot.Fingerprint(&Case{}),
+		core.CheckpointVersion, snapshot.Fingerprint(&core.MachineSnapshot{}))
+}
+
 // Expect records the run outcome the case must reproduce.
 type Expect struct {
 	// Cycles is the parallel-phase execution time.

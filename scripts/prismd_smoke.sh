@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# CI smoke test for the prismd experiment gateway. Asserts, end to end
+# over a real TCP socket and the prismd CLI client:
+#
+#   1. a fresh submission reproduces the checked-in reference rows
+#      (results_ci.csv) byte-for-byte,
+#   2. resubmitting the identical spec is served from the result cache
+#      and is byte-identical to the fresh run,
+#   3. a running job can be canceled and reaches the canceled state,
+#   4. SIGTERM drains gracefully: the daemon finishes bookkeeping and
+#      exits 0.
+#
+# Run from the repository root: ./scripts/prismd_smoke.sh
+set -euo pipefail
+
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+step() { echo "--- $*"; }
+
+step "build prismd"
+go build -o "$tmp/prismd" ./cmd/prismd
+
+step "boot server"
+"$tmp/prismd" serve -addr 127.0.0.1:0 >"$tmp/serve.out" 2>"$tmp/serve.err" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$tmp/serve.out" 2>/dev/null && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$tmp/serve.err"; exit 1; }
+    sleep 0.1
+done
+url=$(sed -n 's/.*listening on //p' "$tmp/serve.out")
+[ -n "$url" ] || { echo "no ready line"; exit 1; }
+echo "server at $url"
+
+step "fresh submission matches results_ci.csv"
+"$tmp/prismd" submit -addr "$url" -size ci -apps fft -csv "$tmp/run1.csv" \
+    >"$tmp/submit1.out" 2>/dev/null
+grep -q "cached: false" "$tmp/submit1.out"
+{ head -1 results_ci.csv; grep "^fft," results_ci.csv; } >"$tmp/want.csv"
+cmp "$tmp/want.csv" "$tmp/run1.csv"
+
+step "identical resubmission is a byte-identical cache hit"
+"$tmp/prismd" submit -addr "$url" -size ci -apps fft -csv "$tmp/run2.csv" \
+    >"$tmp/submit2.out" 2>/dev/null
+grep -q "cached: true" "$tmp/submit2.out"
+cmp "$tmp/run1.csv" "$tmp/run2.csv"
+
+step "cancel a running job"
+job=$("$tmp/prismd" submit -addr "$url" -size ci | sed -n 's/^job: //p')
+for _ in $(seq 1 100); do
+    "$tmp/prismd" status -addr "$url" "$job" | grep -q "state: running" && break
+    sleep 0.1
+done
+"$tmp/prismd" cancel -addr "$url" "$job" >/dev/null
+for _ in $(seq 1 600); do
+    "$tmp/prismd" status -addr "$url" "$job" | grep -q "state: canceled" && break
+    sleep 0.1
+done
+"$tmp/prismd" status -addr "$url" "$job" | grep -q "state: canceled"
+
+step "SIGTERM drains gracefully"
+kill -TERM "$server_pid"
+server_exit=0
+wait "$server_pid" || server_exit=$?
+[ "$server_exit" -eq 0 ] || { echo "server exited $server_exit"; cat "$tmp/serve.err"; exit 1; }
+grep -q "drained; exiting" "$tmp/serve.err"
+server_pid=""
+
+echo "prismd smoke: OK"

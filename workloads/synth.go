@@ -53,10 +53,30 @@ type Synth struct {
 	hot    prism.VAddr
 }
 
+// Validate checks the configuration, returning a descriptive error for
+// each out-of-range field. CLIs call it before NewSynth so a bad flag
+// combination surfaces as a one-line error rather than the
+// constructor's panic.
+func (cfg SynthConfig) Validate() error {
+	switch {
+	case cfg.SharedBytes <= 0:
+		return fmt.Errorf("workloads: synth SharedBytes must be positive, got %d", cfg.SharedBytes)
+	case cfg.Iters <= 0:
+		return fmt.Errorf("workloads: synth Iters must be positive, got %d", cfg.Iters)
+	case cfg.OpsPerIter <= 0:
+		return fmt.Errorf("workloads: synth OpsPerIter must be positive, got %d", cfg.OpsPerIter)
+	case cfg.WritePct < 0 || cfg.WritePct > 100:
+		return fmt.Errorf("workloads: synth WritePct must be in [0,100], got %d", cfg.WritePct)
+	case cfg.RandomPct < 0 || cfg.RandomPct > 100:
+		return fmt.Errorf("workloads: synth RandomPct must be in [0,100], got %d", cfg.RandomPct)
+	}
+	return nil
+}
+
 // NewSynth builds a synthetic workload.
 func NewSynth(cfg SynthConfig) *Synth {
-	if cfg.SharedBytes <= 0 || cfg.Iters <= 0 || cfg.OpsPerIter <= 0 {
-		panic(fmt.Sprintf("workloads: bad synth config %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Synth{cfg: cfg}
 }
