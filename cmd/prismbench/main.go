@@ -99,6 +99,7 @@ func main() {
 	opts := harness.Options{
 		Size:        size,
 		Workers:     cli.Workers(),
+		Parallelism: cli.Parallelism(),
 		MetricsDir:  cli.MetricsDir,
 		SampleEvery: cli.SampleEvery(),
 		Faults:      faults,

@@ -95,8 +95,9 @@ func (m *Machine) collect(w Workload) Results {
 	if utilN > 0 {
 		r.Utilization = utilSum / float64(utilN)
 	}
-	r.NetMessages = m.Net.Stats.Messages
-	r.NetBytes = m.Net.Stats.Bytes
+	net := m.Net.Totals()
+	r.NetMessages = net.Messages
+	r.NetBytes = net.Bytes
 	return r
 }
 

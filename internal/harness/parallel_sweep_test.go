@@ -1,0 +1,125 @@
+package harness
+
+// Sweep-level gate for the -par engine: the harness must emit
+// byte-identical CSV whether cells run on the sequential or the
+// conservative parallel engine, fall back per cell where the parallel
+// engine refuses, and keep Workers × Parallelism within GOMAXPROCS.
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"prism/internal/fault"
+	"prism/workloads"
+)
+
+// sweepCSV runs a small two-app sweep (fft is lock-free, barnes takes
+// software locks and must fall back) and returns the CSV bytes.
+func sweepCSV(t *testing.T, par int, log *bytes.Buffer) []byte {
+	t.Helper()
+	opts := Options{
+		Size:        workloads.MiniSize,
+		Apps:        []string{"fft", "barnes"},
+		Policies:    []string{"SCOMA", "Dyn-LRU"},
+		Workers:     2,
+		Parallelism: par,
+	}
+	if log != nil {
+		opts.Log = log
+	}
+	runs, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepParallelEngineMatchesSequential: -par sweeps are
+// byte-identical to sequential ones, and the software-lock fallback is
+// announced once per sweep.
+func TestSweepParallelEngineMatchesSequential(t *testing.T) {
+	want := sweepCSV(t, 0, nil)
+	var log bytes.Buffer
+	got := sweepCSV(t, 4, &log)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-par 4 sweep CSV diverged:\nseq:\n%s\npar:\n%s", want, got)
+	}
+	if n := strings.Count(log.String(), "barnes takes software locks"); n != 1 {
+		t.Fatalf("software-lock fallback logged %d times, want 1:\n%s", n, log.String())
+	}
+}
+
+// TestResolveParallelFallbacks: sequential-only features disarm the
+// engine shards for the whole sweep.
+func TestResolveParallelFallbacks(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"sampling", func(o *Options) { o.MetricsDir = "x"; o.SampleEvery = 100 }},
+		{"faults", func(o *Options) { o.Faults = &fault.Plan{Seed: 1, Default: fault.Rates{Drop: 0.01}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Size: workloads.MiniSize, Parallelism: 4}
+			tc.mut(&opts)
+			opts.defaults()
+			if opts.effPar != 1 {
+				t.Fatalf("effPar = %d with %s configured, want 1", opts.effPar, tc.name)
+			}
+			if p := opts.cellParallelism("fft"); p != 1 {
+				t.Fatalf("cellParallelism(fft) = %d, want 1", p)
+			}
+		})
+	}
+}
+
+// TestResolveParallelCellChoice: lock-free apps get the shards,
+// lock-taking apps get the sequential engine.
+func TestResolveParallelCellChoice(t *testing.T) {
+	opts := Options{Size: workloads.MiniSize, Parallelism: 3}
+	opts.defaults()
+	if p := opts.cellParallelism("ocean"); p != 3 {
+		t.Fatalf("cellParallelism(ocean) = %d, want 3", p)
+	}
+	if p := opts.cellParallelism("water-nsq"); p != 1 {
+		t.Fatalf("cellParallelism(water-nsq) = %d, want 1", p)
+	}
+}
+
+// TestResolveParallelClampsWorkers: the Workers × Parallelism product
+// is capped at GOMAXPROCS and the clamp is logged once.
+func TestResolveParallelClampsWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	var log bytes.Buffer
+	opts := Options{
+		Size:        workloads.MiniSize,
+		Workers:     gmp * 2,
+		Parallelism: 2,
+		Log:         &log,
+	}
+	opts.defaults()
+	wantW := gmp / min(2, gmp)
+	if wantW < 1 {
+		wantW = 1
+	}
+	if got := opts.workers(); got != wantW {
+		t.Fatalf("workers() = %d with -j %d -par 2 (GOMAXPROCS=%d), want %d",
+			got, gmp*2, gmp, wantW)
+	}
+	if n := strings.Count(log.String(), "capping sweep workers"); n != 1 {
+		t.Fatalf("clamp logged %d times, want 1:\n%s", n, log.String())
+	}
+	// Without shards, Workers passes through untouched.
+	plain := Options{Size: workloads.MiniSize, Workers: gmp * 2}
+	plain.defaults()
+	if got := plain.workers(); got != gmp*2 {
+		t.Fatalf("workers() = %d without -par, want %d", got, gmp*2)
+	}
+}

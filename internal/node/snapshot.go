@@ -131,7 +131,7 @@ type SyncState struct {
 func (s *SyncDomain) ExportState() SyncState {
 	st := SyncState{BarrierOps: s.BarrierOps, LockOps: s.LockOps}
 	for id, b := range s.barriers {
-		if b.q.Len() != 0 {
+		if len(b.waiters) != 0 {
 			panic("sync: ExportState with waiting processors")
 		}
 		st.Barriers = append(st.Barriers, BarrierEntryState{ID: id, Count: b.count, Epoch: b.epoch})
@@ -178,7 +178,7 @@ func (s *SyncDomain) ImportState(st SyncState) {
 // every queue the domain owns must be empty).
 func (s *SyncDomain) QueuesEmpty() bool {
 	for _, b := range s.barriers {
-		if b.q.Len() != 0 {
+		if len(b.waiters) != 0 {
 			return false
 		}
 	}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Group drives several Engines — the shards of one machine — through a
+// conservative parallel round protocol. Each round, every shard may
+// execute events inside a half-open window [start, start+W) where W is
+// the lookahead bound: no cross-shard interaction can take effect
+// sooner than W cycles after it is initiated, so shards cannot affect
+// one another inside a window and are free to run concurrently.
+// Cross-shard scheduling travels through per-engine mailboxes
+// (Engine.Handoff) and is drained at round boundaries.
+//
+// Two lookahead levels: normalW is the network's minimum link latency
+// — every cross-shard interaction in the model is message-mediated, so
+// this is the default bound. While any processor is inside a sync
+// operation whose wake-ups bypass the network (barrier releases step
+// waiters directly at +SyncOp), the group "creeps" with the smaller
+// creepW bound; EnterSync/ExitSync maintain that state. A serial
+// window (RequestSerial/ReleaseSerial) suspends parallelism entirely
+// for machine-global mutations such as the measurement-phase stats
+// reset: the group leader executes events one at a time in global
+// order, across all shards, until released.
+//
+// Determinism: events carry genealogy ranks (engine.go) whose order is
+// exactly the sequential engine's (time, seq) order, independent of
+// shard or worker count. The round protocol only changes *when* events
+// run in host time, never their relative simulated order at any one
+// engine, so results are byte-identical to a sequential run.
+//
+// See DESIGN.md "Parallel engine".
+type Group struct {
+	engines []*Engine
+	normalW Time // lookahead while no processor is inside a sync op
+	creepW  Time // lookahead while some processor is inside a sync op
+
+	workers int
+
+	// creep counts processors currently inside sync operations whose
+	// wake-ups undercut the network lookahead; serialReq counts
+	// outstanding serial-window requests. Both are written from model
+	// code (any shard) and read by round planning.
+	creep     atomic.Int64
+	serialReq atomic.Int64
+
+	// rootSeq numbers setup-time (pre-Run) pushes globally so root
+	// ranks from different shards stay totally ordered. Setup is
+	// single-goroutine; atomic for cheap safety.
+	rootSeq atomic.Uint64
+
+	// count totals executed events across rounds and serial windows.
+	count atomic.Int64
+
+	// Round barrier: workers arrive under mu; the last arriver plans
+	// the next round (running any pending serial window first) and
+	// broadcasts. phase is the round generation.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	phase   uint64
+	arrived int
+	plan    plan
+	failed  any // first panic captured from a worker or the planner
+
+	// horizon is the end of the last planned window; serial-window
+	// drains use it as their lookahead-violation canary bound.
+	horizon Time
+}
+
+// plan is one round's instructions, produced by the last arriver at
+// the round barrier and read by every worker after release.
+type plan struct {
+	start, end Time
+	done       bool
+}
+
+// NewGroup shards the given engines under one group. normalW must be
+// the model's minimum cross-shard interaction delay (the network's
+// minimum link latency); creepW the minimum delay while processors are
+// inside direct-wake sync operations (the sync-op cost). Both must be
+// at least 1 cycle. The engines must be freshly created and not
+// otherwise driven: from here on only the group may run them.
+func NewGroup(engines []*Engine, normalW, creepW Time) *Group {
+	if len(engines) == 0 {
+		panic("sim: NewGroup with no engines")
+	}
+	if normalW < 1 || creepW < 1 {
+		panic("sim: NewGroup lookahead bounds must be >= 1 cycle")
+	}
+	if creepW > normalW {
+		creepW = normalW
+	}
+	g := &Group{
+		engines: engines,
+		normalW: normalW,
+		creepW:  creepW,
+		workers: len(engines),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	for _, e := range engines {
+		if e.group != nil {
+			panic("sim: engine already owned by a group")
+		}
+		e.group = g
+	}
+	return g
+}
+
+// SetWorkers bounds the number of shard-worker goroutines. Results are
+// independent of the worker count; only host-time parallelism changes.
+// The count is clamped to [1, len(engines)].
+func (g *Group) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(g.engines) {
+		n = len(g.engines)
+	}
+	g.workers = n
+}
+
+// Workers returns the effective shard-worker count.
+func (g *Group) Workers() int { return g.workers }
+
+// Engines returns the shard engines, indexed by shard.
+func (g *Group) Engines() []*Engine { return g.engines }
+
+// nextRoot returns the next global root-rank index.
+func (g *Group) nextRoot() uint64 { return g.rootSeq.Add(1) }
+
+// EnterSync marks a processor entering a sync operation whose wake-ups
+// bypass the network lookahead; the group creeps with the smaller
+// window until the matching ExitSync.
+func (g *Group) EnterSync() { g.creep.Add(1) }
+
+// ExitSync ends a processor's sync operation.
+func (g *Group) ExitSync() { g.creep.Add(-1) }
+
+// RequestSerial asks the group to execute serially — one event at a
+// time, in global order, on one goroutine — starting at the next round
+// boundary and lasting until ReleaseSerial. Model code brackets
+// machine-global mutations (e.g. the measurement-phase stats reset)
+// with these.
+func (g *Group) RequestSerial() { g.serialReq.Add(1) }
+
+// ReleaseSerial ends a serial window request.
+func (g *Group) ReleaseSerial() { g.serialReq.Add(-1) }
+
+// Run processes all shards' events in rounds until every shard is idle
+// or the clock would pass limit. It returns the total number of events
+// processed. Panics raised by model code in engine context are
+// re-raised on the caller's goroutine.
+func (g *Group) Run(limit Time) int {
+	g.count.Store(0)
+	g.phase = 0
+	g.arrived = 0
+	g.plan = plan{}
+	g.failed = nil
+	g.horizon = 0
+
+	n := g.workers
+	if max := runtime.GOMAXPROCS(0); n > max {
+		// More workers than schedulable threads adds contention at the
+		// round barrier for zero gain.
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for k := 0; k < n; k++ {
+		go func(k int) {
+			defer wg.Done()
+			g.worker(k, n, limit)
+		}(k)
+	}
+	wg.Wait()
+	if g.failed != nil {
+		panic(g.failed)
+	}
+	return int(g.count.Load())
+}
+
+// RunUntilIdle processes all events without a time bound.
+func (g *Group) RunUntilIdle() int { return g.Run(Forever) }
+
+// worker is one shard-worker loop: arrive at the round barrier (the
+// last arriver plans), then execute the owned shards' windows. Worker
+// k owns engines k, k+n, k+2n, ... — fixed for the whole run.
+func (g *Group) worker(k, n int, limit Time) {
+	for {
+		g.mu.Lock()
+		gen := g.phase
+		g.arrived++
+		if g.arrived == n {
+			g.planRound(limit)
+			g.arrived = 0
+			g.phase++
+			g.cond.Broadcast()
+		} else {
+			for g.phase == gen {
+				g.cond.Wait()
+			}
+		}
+		p := g.plan
+		g.mu.Unlock()
+
+		if p.done {
+			return
+		}
+		g.runShards(k, n, p)
+	}
+}
+
+// runShards executes one round's window on worker k's shards,
+// capturing any engine-context panic so the group can shut down
+// cleanly instead of deadlocking the round barrier.
+func (g *Group) runShards(k, n int, p plan) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.mu.Lock()
+			if g.failed == nil {
+				g.failed = r
+			}
+			g.mu.Unlock()
+		}
+	}()
+	for i := k; i < len(g.engines); i += n {
+		e := g.engines[i]
+		e.drainInbox(p.start)
+		g.count.Add(int64(e.runWindow(p.end)))
+	}
+}
+
+// planRound runs with mu held and every other worker parked at the
+// round barrier — the only point with a consistent global view. It
+// first satisfies any pending serial-window request, then picks the
+// next window from the global minimum pending time and the current
+// lookahead level.
+func (g *Group) planRound(limit Time) {
+	if g.failed == nil && g.serialReq.Load() > 0 {
+		g.runSerial()
+	}
+	if g.failed != nil {
+		g.plan = plan{done: true}
+		return
+	}
+	min := Forever
+	for _, e := range g.engines {
+		if t := e.minPending(); t < min {
+			min = t
+		}
+	}
+	if min == Forever || min > limit {
+		g.plan = plan{done: true}
+		return
+	}
+	w := g.normalW
+	if g.creep.Load() > 0 {
+		w = g.creepW
+	}
+	end := min + w
+	if end > limit+1 {
+		end = limit + 1
+	}
+	g.plan = plan{start: min, end: end}
+	g.horizon = end
+}
+
+// runSerial executes events one at a time in global (time, rank) order
+// across all shards until the serial request drops. It runs on the
+// planner's goroutine with every other worker parked, so it may touch
+// any shard. Cross-engine order is well-defined because every event
+// carries a genealogy rank.
+func (g *Group) runSerial() {
+	defer func() {
+		if r := recover(); r != nil {
+			if g.failed == nil {
+				g.failed = r
+			}
+		}
+	}()
+	for g.serialReq.Load() > 0 {
+		var best *Engine
+		for _, e := range g.engines {
+			e.drainInbox(g.horizon)
+			if len(e.events) == 0 {
+				continue
+			}
+			if best == nil || e.events[0].before(&best.events[0]) {
+				best = e
+			}
+		}
+		if best == nil {
+			// Idle while a serial window is pending: the machine has
+			// deadlocked or finished mid-window; let the planner
+			// terminate normally.
+			return
+		}
+		ev := best.pop()
+		best.now = ev.at
+		best.dispatch(&ev)
+		g.count.Add(1)
+	}
+}

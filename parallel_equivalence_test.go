@@ -1,0 +1,78 @@
+// Differential gate for the parallel engine at the SPLASH level: every
+// kernel × a policy spread, mini size, parallel (2 and 4 shards) vs
+// the sequential oracle. Equality is demanded on three artifacts — the
+// full Results struct, the harness CSV row, and the serialized metrics
+// export — which together cover everything results_ci.csv and
+// metrics_ci.json are built from.
+package prism_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"prism"
+	"prism/internal/harness"
+	"prism/workloads"
+)
+
+// eqRun runs one (app, policy, parallelism) cell and returns the three
+// comparison artifacts. Lock-taking kernels get hardware sync in every
+// mode so sequential and parallel runs model the same machine.
+func eqRun(t *testing.T, app, pol string, par int) (row, res, metrics string) {
+	t.Helper()
+	cfg := workloads.ConfigForSize(workloads.MiniSize)
+	cfg.Policy = prism.MustPolicy(pol)
+	cfg.Parallelism = par
+	if !workloads.LockFree(app) {
+		cfg.HardwareSync = true
+	}
+	if pol != "SCOMA" && pol != "LANUMA" {
+		caps := make([]int, cfg.Nodes)
+		for i := range caps {
+			caps[i] = 8
+		}
+		cfg.PageCacheCaps = caps
+	}
+	m, err := prism.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName(app, workloads.MiniSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := json.Marshal(m.ExportMetrics(app, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.FormatRow(app, pol, r), fmt.Sprintf("%+v", r), string(exp)
+}
+
+func TestSplashParallelMatchesSequential(t *testing.T) {
+	pols := []string{"SCOMA", "Dyn-LRU"}
+	for _, app := range workloads.Names() {
+		for _, pol := range pols {
+			t.Run(app+"/"+pol, func(t *testing.T) {
+				wantRow, wantRes, wantExp := eqRun(t, app, pol, 1)
+				for _, par := range []int{2, 4} {
+					gotRow, gotRes, gotExp := eqRun(t, app, pol, par)
+					if gotRes != wantRes {
+						t.Fatalf("par=%d Results diverged:\nseq %s\npar %s", par, wantRes, gotRes)
+					}
+					if gotRow != wantRow {
+						t.Fatalf("par=%d CSV row diverged:\nseq %s\npar %s", par, wantRow, gotRow)
+					}
+					if gotExp != wantExp {
+						t.Fatalf("par=%d metrics export diverged (%d vs %d bytes)",
+							par, len(wantExp), len(gotExp))
+					}
+				}
+			})
+		}
+	}
+}

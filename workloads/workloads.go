@@ -101,6 +101,20 @@ func Names() []string {
 	return []string{"barnes", "fft", "lu", "mp3d", "ocean", "radix", "water-nsq", "water-spa"}
 }
 
+// LockFree reports whether the named workload synchronizes only
+// through barriers (no Ctx.Lock calls). Lock-free kernels can run on
+// the parallel engine even without hardware sync; lock-taking ones
+// (barnes, the water codes) need WithHardwareSync, since software
+// test-and-set locks are inherently order-dependent and unsupported
+// there. The harness uses this to pick the engine per cell.
+func LockFree(name string) bool {
+	switch name {
+	case "fft", "FFT", "lu", "LU", "mp3d", "MP3D", "ocean", "Ocean", "radix", "Radix":
+		return true
+	}
+	return false
+}
+
 // All builds every workload at the given size.
 func All(size Size) []prism.Workload {
 	var out []prism.Workload
