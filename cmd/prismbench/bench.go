@@ -1,5 +1,5 @@
 // In-process microbenchmarks and the committed host-performance
-// baseline (BENCH_9.json).
+// baseline (BENCH_10.json).
 //
 // `prismbench -bench all` runs the suite via testing.Benchmark and
 // prints a table; `-benchjson FILE` writes the results (plus the
@@ -49,7 +49,7 @@ type SweepTiming struct {
 	WallMS int64  `json:"wall_ms"`
 }
 
-// BenchReport is the schema of BENCH_9.json.
+// BenchReport is the schema of BENCH_10.json.
 type BenchReport struct {
 	Note       string        `json:"note,omitempty"`
 	Benchmarks []BenchResult `json:"benchmarks"`
@@ -149,7 +149,7 @@ func benchPITTable() *pit.PIT {
 		p.Insert(mem.FrameID(i), pit.Entry{
 			Mode:  pit.ModeSCOMA,
 			GPage: mem.GPage{Seg: 1, Page: uint32(i)},
-			Caps:  ^uint64(0),
+			Caps:  mem.AllNodes(),
 		})
 	}
 	return p
@@ -334,7 +334,7 @@ func checkBenchBaseline(path string, measured []BenchResult) error {
 // ratio must stay within 20% of the baseline's. The gate only arms on
 // hosts with at least 4 CPUs — below that the shards time-slice one
 // core and the ratio measures scheduler overhead, not scaling (the
-// committed BENCH_9.json baseline itself comes from a single-core
+// committed BENCH_10.json baseline itself comes from a single-core
 // container, so its ratios are ~1.0 and the gate tightens naturally
 // the first time a multi-core host refreshes the baseline).
 func checkSpeedups(baseline map[string]BenchResult, measured []BenchResult) []string {

@@ -33,7 +33,8 @@ func main() {
 	var cli harness.CLI
 	exp := flag.String("exp", "all", "experiments: table1,table2,fig7,table3,table4,table5,pit,all")
 	cli.RegisterSize(flag.CommandLine, "ci")
-	apps := flag.String("apps", "", "comma-separated app subset (default all eight)")
+	apps := flag.String("apps", "", "comma-separated app specs, name[:key=val;key=val] (default the eight SPLASH kernels)")
+	pols := flag.String("pols", "", "comma-separated policy subset in sweep order (default the Figure 7 six)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	csvPath := flag.String("csv", "", "also write the sweep's raw per-run results as CSV")
 	cli.RegisterParallel(flag.CommandLine)
@@ -105,7 +106,10 @@ func main() {
 		Faults:      faults,
 	}
 	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
+		opts.Apps = harness.SplitAppList(*apps)
+	}
+	if *pols != "" {
+		opts.Policies = strings.Split(*pols, ",")
 	}
 	if !*quiet {
 		opts.Log = os.Stderr

@@ -31,6 +31,7 @@ import (
 	"prism/internal/harness"
 	"prism/internal/metrics"
 	"prism/internal/testcase"
+	"prism/workloads"
 )
 
 func main() {
@@ -72,8 +73,8 @@ func runCreate(args []string, stdout, stderr io.Writer) int {
 	var (
 		out     = fs.String("o", "", "output .prismcase path (required)")
 		name    = fs.String("name", "", "case name (default: derived from workload/policy)")
-		wl      = fs.String("workload", "", "SPLASH workload name or \"chaos\" (required)")
-		size    = fs.String("size", "mini", "data-set size for SPLASH workloads (mini|ci|paper)")
+		wl      = fs.String("workload", "", "workload app spec (name[:key=val,key=val]) or \"chaos\" (required)")
+		size    = fs.String("size", "mini", "data-set size ("+strings.Join(harness.SizeNames, "|")+")")
 		pol     = fs.String("policy", "", "policy name (required)")
 		seed    = fs.Int64("seed", 1, "chaos seed")
 		ops     = fs.Int("ops", 0, "chaos per-proc op count (0 = default)")
@@ -101,9 +102,18 @@ func runCreate(args []string, stdout, stderr io.Writer) int {
 	}
 	if c.Workload == testcase.ChaosName {
 		c.Size = ""
+	} else {
+		// -workload speaks the harness app-spec grammar; the case
+		// stores the resolved name and parameter overrides separately.
+		wlName, params, err := harness.ParseAppSpec(*wl)
+		if err != nil {
+			fmt.Fprintf(stderr, "prismcase create: %v\n", err)
+			return 2
+		}
+		c.Workload, c.Params = wlName, params
 	}
 	if c.Name == "" {
-		c.Name = strings.ToLower(*wl + "-" + strings.ReplaceAll(*pol, "-", ""))
+		c.Name = strings.ToLower(c.Workload + "-" + strings.ReplaceAll(*pol, "-", ""))
 	}
 	if *caps != "" {
 		for _, f := range strings.Split(*caps, ",") {
@@ -284,6 +294,9 @@ func runMinimize(args []string, stdout, stderr io.Writer) int {
 
 func printCase(w io.Writer, c *testcase.Case) {
 	fmt.Fprintf(w, "  name=%s workload=%s", c.Name, c.Workload)
+	for _, k := range workloads.Params(c.Params).Keys() {
+		fmt.Fprintf(w, " %s=%s", k, c.Params[k])
+	}
 	if c.Size != "" {
 		fmt.Fprintf(w, " size=%s", c.Size)
 	}

@@ -38,7 +38,7 @@ import (
 func main() {
 	defer harness.HandlePanic("prismsim")
 	var cli harness.CLI
-	app := flag.String("app", "fft", "application (comma-separated list allowed): barnes|fft|lu|mp3d|ocean|radix|water-nsq|water-spa")
+	app := flag.String("app", "fft", "app spec (comma-separated list allowed): name[:key=val;key=val] over "+strings.Join(workloads.AllNames(), "|"))
 	pol := flag.String("policy", "SCOMA", "policy (comma-separated list allowed): SCOMA|LANUMA|SCOMA-70|Dyn-FCFS|Dyn-Util|Dyn-LRU")
 	cli.RegisterSize(flag.CommandLine, "ci")
 	capFrac := flag.Float64("cap-frac", 0.70, "page-cache fraction of SCOMA max (capped policies)")
@@ -57,7 +57,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	apps := strings.Split(*app, ",")
+	apps := harness.SplitAppList(*app)
 	pols := strings.Split(*pol, ",")
 	if len(apps) > 1 || len(pols) > 1 {
 		runSweep(apps, pols, size, *capFrac, *pit, &cli, faults)
@@ -145,7 +145,7 @@ func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, f
 	if par > 1 {
 		// Same fallbacks as the harness: software-lock apps, interval
 		// sampling and fault injection are sequential-only.
-		if workloads.LockFree(app) && !faults.Active() && !(metricsDir != "" && sample != 0) {
+		if harness.AppLockFree(app) && !faults.Active() && !(metricsDir != "" && sample != 0) {
 			cfg.Parallelism = par
 		} else {
 			fmt.Fprintf(os.Stderr, "%s/%s: sequential engine (-par %d unsupported for this cell)\n", app, polName, par)
@@ -158,7 +158,7 @@ func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, f
 	if metricsDir != "" && sample != 0 {
 		m.SampleMetrics(sample)
 	}
-	w, err := workloads.ByName(app, size)
+	w, err := harness.NewWorkloadSpec(app, size)
 	if err != nil {
 		return prism.Results{}, err
 	}
@@ -170,7 +170,7 @@ func runOnce(app, polName string, size workloads.Size, caps []int, pit uint64, f
 		if err := os.MkdirAll(metricsDir, 0o755); err != nil {
 			return prism.Results{}, err
 		}
-		path := filepath.Join(metricsDir, fmt.Sprintf("%s_%s.json", app, polName))
+		path := filepath.Join(metricsDir, fmt.Sprintf("%s_%s.json", harness.SpecFileName(app), polName))
 		if err := m.ExportMetrics(app, polName).WriteJSONFile(path); err != nil {
 			return prism.Results{}, err
 		}

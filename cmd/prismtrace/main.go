@@ -33,7 +33,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	var cli harness.CLI
 	fs := harness.NewFlagSet("prismtrace", stderr)
-	app := fs.String("app", "fft", "application (or 'synth')")
+	app := fs.String("app", "fft", "app spec, name[:key=val,key=val] (or 'synth')")
 	cli.RegisterSize(fs, "mini")
 	pol := fs.String("policy", "SCOMA", "page-mode policy")
 	top := fs.Int("top", 16, "hottest pages to print")
@@ -66,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		w = workloads.NewSynth(sc)
 	} else {
-		if w, err = workloads.ByName(*app, size); err != nil {
+		if w, err = harness.NewWorkloadSpec(*app, size); err != nil {
 			return err
 		}
 	}

@@ -241,7 +241,7 @@ func (c *Controller) handleGet(src mem.NodeID, m GetMsg, requeued bool) {
 			} else if resp.Had {
 				e.Excl = false
 				e.Owner = 0
-				e.Sharers = 0
+				e.Sharers = directory.NodeSet{}
 				e.AddSharer(owner)
 				e.AddSharer(src)
 			} else {
@@ -368,7 +368,7 @@ func (ev *getEvent) done(at sim.Time, dirty bool) {
 	} else {
 		e.Excl = false
 		e.Owner = 0
-		e.Sharers = 0
+		e.Sharers = directory.NodeSet{}
 		e.AddSharer(c.node)
 		e.AddSharer(src)
 	}
@@ -502,7 +502,7 @@ func (c *Controller) handleWB(src mem.NodeID, m WBMsg) {
 	if hasDir && e.Excl && e.Owner == src {
 		e.Excl = false
 		e.Owner = 0
-		e.Sharers = 0
+		e.Sharers = directory.NodeSet{}
 	}
 }
 

@@ -51,7 +51,7 @@ import (
 
 // CheckpointVersion identifies the checkpoint payload schema. Bump it
 // on any structural change to MachineSnapshot or a component state.
-const CheckpointVersion = 1
+const CheckpointVersion = 2
 
 // CheckpointKind is the envelope kind tag for machine checkpoints.
 const CheckpointKind = "checkpoint"

@@ -74,8 +74,8 @@ func DefaultConfig() Config {
 
 // Validate checks the configuration.
 func (c *Config) Validate() error {
-	if c.Nodes <= 0 || c.Nodes > 64 {
-		return fmt.Errorf("core: node count %d out of range [1,64]", c.Nodes)
+	if c.Nodes <= 0 || c.Nodes > mem.MaxNodes {
+		return fmt.Errorf("core: node count %d out of range [1,%d]", c.Nodes, mem.MaxNodes)
 	}
 	if err := c.Geometry.Validate(); err != nil {
 		return err
@@ -91,6 +91,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Node.Procs <= 0 {
 		return fmt.Errorf("core: %d processors per node", c.Node.Procs)
+	}
+	// Every processor owns a private VSID; the global segments are
+	// numbered after them. Leave a generous global window inside the
+	// 16-bit VSID space.
+	if nprocs := c.Nodes * c.Node.Procs; int(privateBase)+nprocs+1 > (1<<16)-1024 {
+		return fmt.Errorf("core: %d processors exhaust the 16-bit VSID space", nprocs)
 	}
 	if c.Policy == nil {
 		return fmt.Errorf("core: nil page-mode policy")
@@ -122,13 +128,30 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Well-known VSIDs.
+// Well-known VSIDs. The per-processor private segments occupy
+// privateBase..privateBase+nprocs-1; the hardware-sync segment and the
+// first global segment come after them. Machines small enough for the
+// historical fixed slots (every pre-datacenter configuration) keep the
+// legacy numbering so their address streams — and therefore every
+// committed golden result — are byte-identical; larger machines shift
+// the hardware-sync/global window past their private segments.
 const (
 	syncVSID    mem.VSID = 1
-	hwSyncVSID  mem.VSID = 63
 	privateBase mem.VSID = 2
-	globalBase  mem.VSID = 64
+
+	legacyHWSyncVSID mem.VSID = 63
+	legacyGlobalBase mem.VSID = 64
 )
+
+// vsidLayout returns the hardware-sync VSID and the first global VSID
+// for a machine with nprocs processors.
+func vsidLayout(nprocs int) (hwSync, globalBase mem.VSID) {
+	if privateBase+mem.VSID(nprocs) <= legacyHWSyncVSID {
+		return legacyHWSyncVSID, legacyGlobalBase
+	}
+	hw := privateBase + mem.VSID(nprocs)
+	return hw, hw + 1
+}
 
 // Internal barrier ids reserved by the measurement protocol.
 const (
@@ -159,6 +182,7 @@ type Machine struct {
 	Metrics *metrics.Registry
 
 	nextGlobal mem.VSID
+	hwVSID     mem.VSID
 	tm         timing.T
 
 	// group is the parallel engine group (nil on sequential machines);
@@ -185,7 +209,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{Cfg: cfg, tm: cfg.Timing, nextGlobal: globalBase}
+	hwVSID, globalBase := vsidLayout(cfg.Nodes * cfg.Node.Procs)
+	m := &Machine{Cfg: cfg, tm: cfg.Timing, nextGlobal: globalBase, hwVSID: hwVSID}
 
 	// Shard layout: contiguous node blocks over min(Parallelism, Nodes)
 	// engines, synchronized by a conservative group whose lookahead is
@@ -289,14 +314,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 		pages := hseg.Pages(cfg.Geometry)
 		for _, n := range m.Nodes {
-			if err := n.Kern.AttachGlobal(hwSyncVSID, hseg.GSID); err != nil {
+			if err := n.Kern.AttachGlobal(m.hwVSID, hseg.GSID); err != nil {
 				return nil, err
 			}
 			for pg := 0; pg < pages; pg++ {
 				n.Kern.SetPageMode(mem.GPage{Seg: hseg.GSID, Page: uint32(pg)}, pit.ModeSync)
 			}
 		}
-		m.Sync.EnableHardwareLocks(mem.NewVAddr(hwSyncVSID, 0))
+		m.Sync.EnableHardwareLocks(mem.NewVAddr(m.hwVSID, 0))
 	}
 	return m, nil
 }

@@ -78,11 +78,7 @@ func (m *Machine) SetPageCaps(va mem.VAddr, allowed []mem.NodeID) error {
 	if !ok {
 		return fmt.Errorf("core: %v not mapped at its home node %d", g, home)
 	}
-	var mask uint64
-	for _, n := range allowed {
-		mask |= 1 << uint(n)
-	}
-	p.Entry(f).Caps = mask
+	p.Entry(f).Caps = mem.NodeSetOf(allowed...)
 	return nil
 }
 

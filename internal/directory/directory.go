@@ -19,6 +19,10 @@ import (
 	"prism/internal/sim"
 )
 
+// NodeSet is the fixed-width node bitmap used as the full-map sharer
+// vector of one directory line (see mem.NodeSet).
+type NodeSet = mem.NodeSet
+
 // Line is the directory state for one cache line of a global page.
 // Exactly one of the two regimes holds:
 //
@@ -31,17 +35,17 @@ import (
 type Line struct {
 	Excl    bool
 	Owner   mem.NodeID
-	Sharers uint64
+	Sharers NodeSet
 }
 
 // AddSharer sets node's bit.
-func (l *Line) AddSharer(n mem.NodeID) { l.Sharers |= 1 << uint(n) }
+func (l *Line) AddSharer(n mem.NodeID) { l.Sharers.Add(n) }
 
 // DropSharer clears node's bit.
-func (l *Line) DropSharer(n mem.NodeID) { l.Sharers &^= 1 << uint(n) }
+func (l *Line) DropSharer(n mem.NodeID) { l.Sharers.Drop(n) }
 
 // IsSharer reports whether node's bit is set.
-func (l *Line) IsSharer(n mem.NodeID) bool { return l.Sharers&(1<<uint(n)) != 0 }
+func (l *Line) IsSharer(n mem.NodeID) bool { return l.Sharers.Has(n) }
 
 // SharerList returns the sharers in ascending node order, excluding
 // the given node.
@@ -57,19 +61,13 @@ func (l *Line) SharerList(except mem.NodeID, nodes int) []mem.NodeID {
 }
 
 // SharerCount returns the number of sharer bits set.
-func (l *Line) SharerCount() int {
-	n := 0
-	for m := l.Sharers; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
-}
+func (l *Line) SharerCount() int { return l.Sharers.Count() }
 
 func (l Line) String() string {
 	if l.Excl {
 		return fmt.Sprintf("E@%d", l.Owner)
 	}
-	return fmt.Sprintf("S{%b}", l.Sharers)
+	return fmt.Sprintf("S{%s}", l.Sharers)
 }
 
 // Config parameterizes the directory timing model.

@@ -91,7 +91,7 @@ func TestAccessMutatesInPlace(t *testing.T) {
 	d.AddPage(g, 0)
 	e, _, _ := d.Access(g, 7)
 	e.Excl = false
-	e.Sharers = 0
+	e.Sharers = NodeSet{}
 	e.AddSharer(4)
 	e2, _ := d.Peek(g, 7)
 	if e2.Excl || !e2.IsSharer(4) {
@@ -106,7 +106,7 @@ func TestDropNode(t *testing.T) {
 	e, _ := d.Peek(g, 0)
 	e.Excl = false
 	e.Owner = 0
-	e.Sharers = 0
+	e.Sharers = NodeSet{}
 	e.AddSharer(2)
 	e.AddSharer(3)
 	e2, _ := d.Peek(g, 1)

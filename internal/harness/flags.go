@@ -99,25 +99,15 @@ func (c *CLI) SampleEvery() sim.Time { return sim.Time(c.Sample) }
 func (c *CLI) FaultPlan() (*fault.Plan, error) { return fault.ParseSpec(c.FaultSpec) }
 
 // SizeNames lists the valid -size spellings in ascending scale order —
-// the single source for flag help text, error messages and validation.
-var SizeNames = []string{
-	workloads.MiniSize.String(),
-	workloads.CISize.String(),
-	workloads.PaperSize.String(),
-}
+// shared flag help text across the commands (workloads.SizeNames is
+// the source of truth).
+var SizeNames = workloads.SizeNames()
 
-// ParseSize maps a -size value to a workload size. The error names
-// every valid size, so a mistyped flag is self-explanatory.
+// ParseSize maps a -size value to a workload size. The error (wrapping
+// workloads.ErrUnknownSize) names every valid size, so a mistyped flag
+// is self-explanatory.
 func ParseSize(s string) (workloads.Size, error) {
-	switch s {
-	case workloads.MiniSize.String():
-		return workloads.MiniSize, nil
-	case workloads.CISize.String():
-		return workloads.CISize, nil
-	case workloads.PaperSize.String():
-		return workloads.PaperSize, nil
-	}
-	return 0, fmt.Errorf("unknown size %q (valid sizes: %s)", s, strings.Join(SizeNames, ", "))
+	return workloads.ParseSize(s)
 }
 
 // HandlePanic is the CLI-wide backstop every prism command defers at

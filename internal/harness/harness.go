@@ -101,6 +101,16 @@ func (o *Options) defaults() {
 	if o.Apps == nil {
 		o.Apps = workloads.Names()
 	}
+	// Canonicalize app specs up front so CSV rows, log lines and cell
+	// labels use one spelling regardless of how the caller wrote the
+	// spec. Specs that fail to parse are kept verbatim: runOne builds
+	// the workload from the same spec and surfaces the real error.
+	o.Apps = append([]string(nil), o.Apps...)
+	for i, app := range o.Apps {
+		if canon, err := CanonicalAppSpec(app); err == nil {
+			o.Apps[i] = canon
+		}
+	}
 	if o.Policies == nil {
 		o.Policies = append([]string(nil), PolicyOrder...)
 	}
@@ -155,7 +165,7 @@ func (o *Options) resolveParallel() {
 	o.effWorkers = w
 	if o.effPar > 1 {
 		for _, app := range o.Apps {
-			if !workloads.LockFree(app) {
+			if !AppLockFree(app) {
 				o.logf("harness: %s takes software locks; its cells run on the sequential engine", app)
 			}
 		}
@@ -177,7 +187,7 @@ func (o *Options) workers() int {
 // shard count, or the sequential engine for workloads whose software
 // test-and-set locks the parallel engine refuses.
 func (o *Options) cellParallelism(app string) int {
-	if o.effPar > 1 && workloads.LockFree(app) {
+	if o.effPar > 1 && AppLockFree(app) {
 		return o.effPar
 	}
 	return 1
@@ -233,7 +243,7 @@ func (o *Options) runOne(app, polName string, caps []int) (prism.Results, error)
 	if o.MetricsDir != "" && o.SampleEvery != 0 {
 		m.SampleMetrics(o.SampleEvery)
 	}
-	w, err := workloads.ByName(app, o.Size)
+	w, err := NewWorkloadSpec(app, o.Size)
 	if err != nil {
 		return prism.Results{}, err
 	}
@@ -242,7 +252,7 @@ func (o *Options) runOne(app, polName string, caps []int) (prism.Results, error)
 		return prism.Results{}, fmt.Errorf("%s/%s: %w", app, polName, err)
 	}
 	if o.MetricsDir != "" {
-		path := filepath.Join(o.MetricsDir, fmt.Sprintf("%s_%s.json", app, polName))
+		path := filepath.Join(o.MetricsDir, fmt.Sprintf("%s_%s.json", SpecFileName(app), polName))
 		if err := m.ExportMetrics(app, polName).WriteJSONFile(path); err != nil {
 			return prism.Results{}, fmt.Errorf("%s/%s: metrics export: %w", app, polName, err)
 		}

@@ -11,7 +11,6 @@ package kernel
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 
 	"prism/internal/coherence"
@@ -127,11 +126,11 @@ type frameBinding struct {
 
 type homePage struct {
 	frame mem.FrameID
-	// known and mapped are node bitmasks (bit i = node i, same ≤64-node
-	// convention as pit.Entry.Caps): clients holding a home-page-status
-	// flag, and clients with the page currently mapped.
-	known  uint64
-	mapped uint64
+	// known and mapped are node sets (same convention as
+	// pit.Entry.Caps): clients holding a home-page-status flag, and
+	// clients with the page currently mapped.
+	known  mem.NodeSet
+	mapped mem.NodeSet
 }
 
 type faultCont func(at sim.Time, f mem.FrameID, ok bool)
@@ -571,7 +570,7 @@ func (k *Kernel) mapAtHome(g mem.GPage) mem.FrameID {
 		Mode: mode, GPage: g,
 		StaticHome: k.node, DynHome: k.node,
 		HomeFrame: f, HomeFrameKnown: true,
-		Caps: ^uint64(0), // experiments run fully trusting; the firewall demo narrows this
+		Caps: mem.AllNodes(), // experiments run fully trusting; the firewall demo narrows this
 	}
 	if mode == pit.ModeSCOMA {
 		ent.Tags = k.ctrl.PIT.NewTags(pit.TagExclusive)
@@ -607,7 +606,7 @@ func (k *Kernel) clientFault(vp mem.VPage, g mem.GPage, finish faultCont) {
 		ent := pit.Entry{
 			Mode: dec.Mode, GPage: g,
 			StaticHome: k.reg.StaticHome(g),
-			Caps:       ^uint64(0),
+			Caps:       mem.AllNodes(),
 		}
 		if dh, ok := k.dynHomeHint[g]; ok {
 			ent.DynHome = dh
@@ -833,7 +832,7 @@ func (k *Kernel) MostInvalidVictim() (mem.FrameID, bool) {
 // home-page-status flag remains valid until we unmap).
 func (k *Kernel) ClientDropped(g mem.GPage, src mem.NodeID) {
 	if hp, ok := k.homePages[g]; ok {
-		hp.mapped &^= 1 << uint(src)
+		hp.mapped.Drop(src)
 	}
 }
 
@@ -956,8 +955,8 @@ func (k *Kernel) handlePageIn(src mem.NodeID, m *PageInReq) {
 	}
 	f := k.mapAtHome(m.Page)
 	if hp := k.homePages[m.Page]; hp != nil {
-		hp.known |= 1 << uint(src)
-		hp.mapped |= 1 << uint(src)
+		hp.known.Add(src)
+		hp.mapped.Add(src)
 	}
 	resp := k.poolPageInResp.Get()
 	resp.Page, resp.HomeFrame, resp.DynHome = m.Page, f, k.reg.DynamicHome(m.Page)
@@ -985,10 +984,7 @@ func (k *Kernel) EvictHomePage(g mem.GPage, done func(at sim.Time)) error {
 	k.Stats.HomePageOuts++
 	// Ascending bit iteration replaces the old map-iterate-then-sort:
 	// same deterministic client order.
-	clients := k.clientScratch[:0]
-	for mask := hp.known; mask != 0; mask &= mask - 1 {
-		clients = append(clients, mem.NodeID(bits.TrailingZeros64(mask)))
-	}
+	clients := hp.known.List(k.clientScratch[:0])
 	k.clientScratch = clients
 
 	finish := func(at sim.Time) {

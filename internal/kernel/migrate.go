@@ -222,7 +222,7 @@ func (k *Kernel) newHomeFrame(g mem.GPage, lines []directory.Line) mem.FrameID {
 		Mode: pit.ModeSCOMA, GPage: g,
 		StaticHome: k.reg.StaticHome(g), DynHome: k.node,
 		HomeFrame: f, HomeFrameKnown: true,
-		Caps: ^uint64(0),
+		Caps: mem.AllNodes(),
 	}
 	k.ctrl.PIT.Insert(f, ent)
 	k.ctrl.SetHomeTags(f, lines)

@@ -58,8 +58,8 @@ type HomePageState struct {
 	Seg    mem.GSID
 	Page   uint32
 	Frame  mem.FrameID
-	Known  uint64
-	Mapped uint64
+	Known  mem.NodeSet
+	Mapped mem.NodeSet
 }
 
 // MigRecordState is one migrated-away record at a static home.

@@ -57,6 +57,12 @@ func log2(v int) uint {
 	return s
 }
 
+// MaxNodes bounds the machine's node count. It sizes the fixed-width
+// node bitmaps (directory sharer sets) and is what core.Config.Validate
+// enforces; the paper stops at 8 nodes, the reproduction runs
+// datacenter-scale sweeps up to 256.
+const MaxNodes = 256
+
 // NodeID identifies a node (kernel + controller + memory + processors).
 type NodeID int
 

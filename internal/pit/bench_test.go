@@ -14,7 +14,7 @@ func benchPIT(n int) *PIT {
 		p.Insert(mem.FrameID(i), Entry{
 			Mode:  ModeSCOMA,
 			GPage: mem.GPage{Seg: 1, Page: uint32(i)},
-			Caps:  ^uint64(0),
+			Caps:  mem.AllNodes(),
 		})
 	}
 	return p
@@ -67,7 +67,7 @@ func BenchmarkInsertRemove(b *testing.B) {
 	ent := Entry{
 		Mode:  ModeSCOMA,
 		GPage: mem.GPage{Seg: 2, Page: 7},
-		Caps:  ^uint64(0),
+		Caps:  mem.AllNodes(),
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -117,10 +117,10 @@ type Entry struct {
 	// Table 3 utilization statistic.
 	Touched []bool
 
-	// Caps is the capability bitmask of nodes allowed to reach this
-	// frame from the network; bit i grants node i. Zero means "only
-	// the home and this node", the default the firewall falls back to.
-	Caps uint64
+	// Caps is the capability set of nodes allowed to reach this frame
+	// from the network. The empty set means "only the home and this
+	// node", the default the firewall falls back to.
+	Caps mem.NodeSet
 
 	// LastAccess is the last bus-transaction time against the frame
 	// (drives LRU policies); AccessCount and RemoteTraffic feed the
@@ -431,7 +431,7 @@ func (p *PIT) CheckAccess(f mem.FrameID, src mem.NodeID) bool {
 	if src == e.DynHome || src == e.StaticHome || src == p.node {
 		return true
 	}
-	if e.Caps&(1<<uint(src)) != 0 {
+	if e.Caps.Has(src) {
 		return true
 	}
 	p.Stats.FirewallDrops++

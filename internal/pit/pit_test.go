@@ -179,7 +179,7 @@ func TestTouchAndUtilization(t *testing.T) {
 func TestFirewall(t *testing.T) {
 	p := mkPIT(t)
 	e := p.Insert(1, scomaEntry(mem.GPage{Seg: 1}, 2))
-	e.Caps = 1 << 4 // only node 4
+	e.Caps = mem.NodeSetOf(4) // only node 4
 
 	if !p.CheckAccess(1, 4) {
 		t.Error("capability holder rejected")

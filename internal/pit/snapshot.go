@@ -23,7 +23,7 @@ type EntryState struct {
 	Tags           []Tag
 	Dirty          []bool
 	Touched        []bool
-	Caps           uint64
+	Caps           mem.NodeSet
 	LastAccess     sim.Time
 	AccessCount    uint64
 	RemoteTraffic  uint64

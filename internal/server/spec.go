@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"prism"
 	"prism/internal/fault"
@@ -36,7 +37,11 @@ import (
 type Spec struct {
 	// Size is the data-set scale: mini, ci or paper (default ci).
 	Size string `json:"size"`
-	// Apps is the application subset in sweep order (default all eight).
+	// Apps is the application subset in sweep order (default all
+	// eight SPLASH kernels). Entries are app specs in the harness
+	// grammar — `name` or `name:key=val,key=val` — and normalize to
+	// their canonical spelling (registered name, sorted non-default
+	// parameters), so every spelling of a cell shares a digest.
 	Apps []string `json:"apps"`
 	// Policies is the policy subset (default the Figure 7 six).
 	Policies []string `json:"policies"`
@@ -72,15 +77,20 @@ func (s *Spec) Normalize() error {
 	apps := make([]string, len(s.Apps))
 	seen := map[string]bool{}
 	for i, a := range s.Apps {
-		w, err := workloads.ByName(a, size)
+		canon, err := harness.CanonicalAppSpec(a)
 		if err != nil {
 			return err
 		}
-		apps[i] = w.Name()
-		if seen[apps[i]] {
-			return fmt.Errorf("server: duplicate app %q in spec", apps[i])
+		// Canonicalization resolves the name and parameter keys; a
+		// throwaway build validates parameter values and size support.
+		if _, err := harness.NewWorkloadSpec(canon, size); err != nil {
+			return err
 		}
-		seen[apps[i]] = true
+		apps[i] = canon
+		if seen[canon] {
+			return fmt.Errorf("server: duplicate app %q in spec", canon)
+		}
+		seen[canon] = true
 	}
 	s.Apps = apps
 	if len(s.Policies) == 0 {
@@ -189,9 +199,13 @@ func SpecFromCase(c *testcase.Case) (*Spec, error) {
 	case c.PageCacheCaps != nil:
 		return nil, fmt.Errorf("server: case %s: explicit page-cache caps are not sweep knobs (the sweep sizes its own)", c.Name)
 	}
+	app, err := harness.AppLabel(c.Workload, workloads.Params(c.Params))
+	if err != nil {
+		return nil, fmt.Errorf("server: case %s: %w", c.Name, err)
+	}
 	s := &Spec{
 		Size:        c.Size,
-		Apps:        []string{c.Workload},
+		Apps:        []string{app},
 		Policies:    []string{c.Policy},
 		Faults:      c.FaultSpec,
 		SampleEvery: uint64(c.SampleEvery),
@@ -210,16 +224,22 @@ func SpecFromCase(c *testcase.Case) (*Spec, error) {
 
 // CaseFor converts one (app, policy) cell of a normalized spec into a
 // .prismcase skeleton (no recorded expectations — testcase.Create
-// records those by running it). caps are the per-node page-cache caps
-// the sweep derived for the app's capped policies; pass nil for
-// uncapped cells.
+// records those by running it). app is the cell's canonical app spec
+// as Normalize spelled it; caps are the per-node page-cache caps the
+// sweep derived for the app's capped policies; pass nil for uncapped
+// cells.
 func (s *Spec) CaseFor(app, policy string, caps []int) (*testcase.Case, error) {
 	if !contains(s.Apps, app) || !contains(s.Policies, policy) {
 		return nil, fmt.Errorf("server: cell %s/%s not in spec", app, policy)
 	}
+	name, params, err := harness.ParseAppSpec(app)
+	if err != nil {
+		return nil, fmt.Errorf("server: cell %s/%s: %w", app, policy, err)
+	}
 	c := &testcase.Case{
-		Name:          fmt.Sprintf("%s-%s-%s", app, policy, s.Size),
-		Workload:      app,
+		Name:          fmt.Sprintf("%s-%s-%s", caseLabel(app), policy, s.Size),
+		Workload:      name,
+		Params:        params,
 		Size:          s.Size,
 		Policy:        policy,
 		PageCacheCaps: append([]int(nil), caps...),
@@ -234,6 +254,12 @@ func (s *Spec) CaseFor(app, policy string, caps []int) (*testcase.Case, error) {
 		return nil, fmt.Errorf("server: PIT access %d has no .prismcase spelling (only 0 or 10)", s.PITAccess)
 	}
 	return c, nil
+}
+
+// caseLabel flattens an app spec into a filename-safe case-name
+// component (`:`/`=` → `-`, `;` → `+`).
+func caseLabel(app string) string {
+	return strings.NewReplacer(":", "-", "=", "-", ";", "+").Replace(app)
 }
 
 func contains(list []string, s string) bool {

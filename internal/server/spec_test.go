@@ -34,6 +34,18 @@ func TestDigestCanonicalization(t *testing.T) {
 	if lower.Digest() != upper.Digest() {
 		t.Errorf("policy-name case changed digest: %q != %q", lower.Digest(), upper.Digest())
 	}
+
+	// App-spec parameters canonicalize into the digest too: reordered
+	// parameters, alias names and default-valued overrides all spell
+	// the same cell.
+	a := normalized(t, Spec{Size: "mini", Apps: []string{"kv:ops=64,keys=4096"}, Policies: []string{"SCOMA"}})
+	b := normalized(t, Spec{Size: "mini", Apps: []string{"KV:keys=4096;ops=64,rounds=2"}, Policies: []string{"scoma"}})
+	if a.Digest() != b.Digest() {
+		t.Errorf("param spelling changed digest: %q != %q", a.Digest(), b.Digest())
+	}
+	if a.Apps[0] != "kv:keys=4096;ops=64" {
+		t.Errorf("normalized app spec = %q", a.Apps[0])
+	}
 }
 
 // Every knob must feed the digest: flipping any single one produces a
@@ -45,6 +57,8 @@ func TestDigestDistinctPerKnob(t *testing.T) {
 		"app":          {Size: "mini", Apps: []string{"lu"}, Policies: []string{"SCOMA"}},
 		"extra app":    {Size: "mini", Apps: []string{"fft", "lu"}, Policies: []string{"SCOMA"}},
 		"policy":       {Size: "mini", Apps: []string{"fft"}, Policies: []string{"LANUMA"}},
+		"app params":   {Size: "mini", Apps: []string{"kv:ops=64"}, Policies: []string{"SCOMA"}},
+		"app params 2": {Size: "mini", Apps: []string{"kv:ops=128"}, Policies: []string{"SCOMA"}},
 		"cap fraction": {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, CapFraction: 0.5},
 		"pit access":   {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, PITAccess: 10},
 		"fault spec":   {Size: "mini", Apps: []string{"fft"}, Policies: []string{"SCOMA"}, Faults: "drop=0.01"},
@@ -82,6 +96,9 @@ func TestNormalizeRejects(t *testing.T) {
 		"size":             {Size: "huge"},
 		"app":              {Apps: []string{"nosuch"}},
 		"duplicate app":    {Apps: []string{"fft", "fft"}},
+		"app param":        {Apps: []string{"kv:bogus=1"}},
+		"app param value":  {Apps: []string{"kv:ops=zero"}},
+		"dup app by canon": {Apps: []string{"kv", "kv:rounds=2"}},
 		"policy":           {Policies: []string{"nosuch"}},
 		"duplicate policy": {Policies: []string{"SCOMA", "scoma"}},
 		"cap fraction":     {CapFraction: 1.5},

@@ -16,10 +16,10 @@ import (
 )
 
 const (
-	pinnedCaseVersion     = 1
-	pinnedCaseFingerprint = "96ebb4fc9fa8b63e"
-	pinnedSnapVersion     = 1
-	pinnedSnapFingerprint = "dbd971240b9b4cf3"
+	pinnedCaseVersion     = 2
+	pinnedCaseFingerprint = "679380aff7ac9dfa"
+	pinnedSnapVersion     = 2
+	pinnedSnapFingerprint = "004bce71f9a7180f"
 )
 
 func TestSchemaPins(t *testing.T) {

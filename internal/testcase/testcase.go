@@ -38,7 +38,7 @@ import (
 // changes shape; the envelope's schema fingerprint enforces this.
 const (
 	Kind    = "testcase"
-	Version = 1
+	Version = 2
 )
 
 // ChaosName selects the protocol fuzzer workload instead of a SPLASH
@@ -77,9 +77,13 @@ type Expect struct {
 // Case is one replayable run.
 type Case struct {
 	Name     string
-	Workload string // a SPLASH workload name, or ChaosName
-	Size     string `json:",omitempty"` // mini|ci|paper (SPLASH workloads; default mini)
+	Workload string // a registered workload name, or ChaosName
+	Size     string `json:",omitempty"` // workloads.ParseSize spelling (default mini)
 	Policy   string // policy.ByName spelling
+
+	// Params are workload parameter overrides (the registry's
+	// key=value knobs, e.g. kv's keys/ops/zipf). Ignored for chaos.
+	Params map[string]string `json:",omitempty"`
 
 	// Chaos knobs (ignored for SPLASH workloads).
 	Seed int64 `json:",omitempty"`
@@ -199,7 +203,16 @@ func (c *Case) NewWorkload() (core.Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return workloads.ByName(c.Workload, size)
+	return workloads.NewWorkload(c.Workload, size, workloads.Params(c.Params))
+}
+
+// appLabel renders the case's cell label exactly as the sweep CSV
+// does: the canonical app spec (name plus sorted non-default params).
+func (c *Case) appLabel() (string, error) {
+	if c.Workload == ChaosName {
+		return c.Workload, nil
+	}
+	return harness.AppLabel(c.Workload, workloads.Params(c.Params))
 }
 
 // Build assembles a fresh machine + workload pair for the case — the
@@ -241,7 +254,11 @@ func (c *Case) outcome(m *core.Machine, res core.Results) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex := m.ExportMetrics(c.Workload, res.Policy)
+	label, err := c.appLabel()
+	if err != nil {
+		return nil, err
+	}
+	ex := m.ExportMetrics(label, res.Policy)
 	var mb bytes.Buffer
 	if err := ex.WriteJSON(&mb); err != nil {
 		return nil, err
@@ -253,7 +270,7 @@ func (c *Case) outcome(m *core.Machine, res core.Results) (*Outcome, error) {
 			Cycles:        int64(res.Cycles),
 			ResultsSHA256: snapshot.HashBytes(rj),
 			MetricsSHA256: snapshot.HashBytes(mb.Bytes()),
-			CSVRow:        harness.FormatRow(c.Workload, res.Policy, res),
+			CSVRow:        harness.FormatRow(label, res.Policy, res),
 		},
 	}, nil
 }

@@ -1,0 +1,110 @@
+// Differential gate for the traffic-shaped workloads, mirroring the
+// SPLASH gate: each workload × policy spread, parallel (2 and 4
+// shards) vs the sequential oracle, compared on the full Results
+// struct, the harness CSV row and the serialized metrics export. The
+// runs use parameter overrides, so the spec path through the registry
+// is on the hook too.
+package prism_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"prism"
+	"prism/internal/harness"
+	"prism/workloads"
+)
+
+var trafficCells = []struct {
+	app    string
+	params workloads.Params
+}{
+	{"kv", workloads.Params{"keys": "8192", "ops": "128", "shards": "32"}},
+	{"pubsub", workloads.Params{"topics": "64", "rounds": "2"}},
+	{"zipf", workloads.Params{"pages": "512", "ops": "512"}},
+}
+
+func trafficEqRun(t *testing.T, size workloads.Size, app string, params workloads.Params, pol string, par int) (row, res, metrics string) {
+	t.Helper()
+	cfg := workloads.ConfigForSize(size)
+	cfg.Policy = prism.MustPolicy(pol)
+	cfg.Parallelism = par
+	if pol != "SCOMA" && pol != "LANUMA" {
+		caps := make([]int, cfg.Nodes)
+		for i := range caps {
+			caps[i] = 8
+		}
+		cfg.PageCacheCaps = caps
+	}
+	m, err := prism.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.NewWorkload(app, size, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := json.Marshal(m.ExportMetrics(app, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.FormatRow(app, pol, r), fmt.Sprintf("%+v", r), string(exp)
+}
+
+func TestTrafficParallelMatchesSequential(t *testing.T) {
+	pols := []string{"SCOMA", "Dyn-LRU"}
+	for _, cell := range trafficCells {
+		for _, pol := range pols {
+			t.Run(cell.app+"/"+pol, func(t *testing.T) {
+				wantRow, wantRes, wantExp := trafficEqRun(t, workloads.MiniSize, cell.app, cell.params, pol, 1)
+				for _, par := range []int{2, 4} {
+					gotRow, gotRes, gotExp := trafficEqRun(t, workloads.MiniSize, cell.app, cell.params, pol, par)
+					if gotRes != wantRes {
+						t.Fatalf("par=%d Results diverged:\nseq %s\npar %s", par, wantRes, gotRes)
+					}
+					if gotRow != wantRow {
+						t.Fatalf("par=%d CSV row diverged:\nseq %s\npar %s", par, wantRow, gotRow)
+					}
+					if gotExp != wantExp {
+						t.Fatalf("par=%d metrics export diverged (%d vs %d bytes)",
+							par, len(wantExp), len(gotExp))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTrafficDC64ParallelMatchesSequential repeats the differential
+// gate on full 64-node machines (the dc64 size class), seq vs -par 4
+// — the scale the traffic workloads were built for, where sharer sets
+// outgrow a single bitmap word and the capped policies see real
+// page-cache pressure.
+func TestTrafficDC64ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dc64 differential sweep in -short mode")
+	}
+	for _, cell := range trafficCells {
+		for _, pol := range []string{"SCOMA", "Dyn-LRU"} {
+			t.Run(cell.app+"/"+pol, func(t *testing.T) {
+				wantRow, wantRes, wantExp := trafficEqRun(t, workloads.DC64Size, cell.app, cell.params, pol, 1)
+				gotRow, gotRes, gotExp := trafficEqRun(t, workloads.DC64Size, cell.app, cell.params, pol, 4)
+				if gotRes != wantRes {
+					t.Fatalf("dc64 Results diverged:\nseq %s\npar %s", wantRes, gotRes)
+				}
+				if gotRow != wantRow {
+					t.Fatalf("dc64 CSV row diverged:\nseq %s\npar %s", wantRow, gotRow)
+				}
+				if gotExp != wantExp {
+					t.Fatalf("dc64 metrics export diverged (%d vs %d bytes)",
+						len(wantExp), len(gotExp))
+				}
+			})
+		}
+	}
+}

@@ -22,6 +22,7 @@ package workloads
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"prism"
 	"prism/internal/mem"
@@ -33,11 +34,24 @@ type Size int
 // Size classes. PaperSize matches Table 2; CISize is roughly a
 // quarter-scale configuration for routine runs (pair it with
 // quarter-scale caches — see ConfigForSize); MiniSize is for tests.
+// DC64Size and DC128Size are the datacenter-scale classes: 64- and
+// 128-node machines for the traffic-shaped workloads, far past the
+// paper's 8 nodes.
 const (
 	MiniSize Size = iota
 	CISize
 	PaperSize
+	DC64Size
+	DC128Size
 )
+
+// sizeOrder lists every size in ascending scale order — the single
+// source for SizeNames, ParseSize and descriptor size filters.
+var sizeOrder = []Size{MiniSize, CISize, PaperSize, DC64Size, DC128Size}
+
+// PaperSizes are the classes the SPLASH kernels are engineered for
+// (their data sets scale with the paper's 32-processor machine).
+var PaperSizes = []Size{MiniSize, CISize, PaperSize}
 
 func (s Size) String() string {
 	switch s {
@@ -47,14 +61,46 @@ func (s Size) String() string {
 		return "ci"
 	case PaperSize:
 		return "paper"
+	case DC64Size:
+		return "dc64"
+	case DC128Size:
+		return "dc128"
 	}
 	return fmt.Sprintf("Size(%d)", int(s))
 }
 
+// Sizes returns every size class in ascending scale order.
+func Sizes() []Size { return append([]Size(nil), sizeOrder...) }
+
+// SizeNames returns the valid size spellings in ascending scale order.
+func SizeNames() []string {
+	out := make([]string, len(sizeOrder))
+	for i, s := range sizeOrder {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// ParseSize maps a size name to its Size. The error wraps
+// ErrUnknownSize and names every valid size, so a mistyped flag is
+// self-explanatory.
+func ParseSize(name string) (Size, error) {
+	for _, s := range sizeOrder {
+		if name == s.String() {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("%w %q (valid sizes: %s)", ErrUnknownSize, name, strings.Join(SizeNames(), ", "))
+}
+
 // ConfigForSize returns a machine configuration whose cache sizes are
 // scaled to keep the workload's working set in the same capacity
-// regime the paper engineered (8KB L1 / 32KB L2 against Table 2
-// data sets; see §4.2's discussion of why the caches are small).
+// regime the paper engineered (8KB L1 / 32KB L2 against Table 2 data
+// sets; see §4.2's discussion of why the caches are small). The
+// datacenter classes keep the small test caches but widen the machine
+// itself: 64 or 128 nodes of two processors, with node memory shrunk
+// so page-cache policies feel real pressure at traffic-workload
+// footprints.
 func ConfigForSize(s Size) prism.Config {
 	cfg := prism.DefaultConfig()
 	switch s {
@@ -67,38 +113,70 @@ func ConfigForSize(s Size) prism.Config {
 	case MiniSize:
 		cfg.Node.L1.Size = 1 << 10
 		cfg.Node.L2.Size = 4 << 10
+	case DC64Size, DC128Size:
+		cfg.Nodes = 64
+		if s == DC128Size {
+			cfg.Nodes = 128
+		}
+		cfg.Node.Procs = 2
+		cfg.Node.L1.Size = 1 << 10
+		cfg.Node.L2.Size = 4 << 10
+		cfg.Kernel.RealFrames = 8 << 10
 	}
 	return cfg
 }
 
-// ByName builds the named workload at the given size. Names are the
-// paper's (case-insensitive): barnes, fft, lu, mp3d, ocean, radix,
-// water-nsq, water-spa.
-func ByName(name string, size Size) (prism.Workload, error) {
-	switch name {
-	case "barnes", "Barnes":
-		return NewBarnes(size), nil
-	case "fft", "FFT":
-		return NewFFT(size), nil
-	case "lu", "LU":
-		return NewLU(size), nil
-	case "mp3d", "MP3D":
-		return NewMP3D(size), nil
-	case "ocean", "Ocean":
-		return NewOcean(size), nil
-	case "radix", "Radix":
-		return NewRadix(size), nil
-	case "water-nsq", "Water-Nsq", "waternsq":
-		return NewWaterNsq(size), nil
-	case "water-spa", "Water-Spa", "waterspa":
-		return NewWaterSpa(size), nil
+// init registers the eight SPLASH kernels of Table 2, in the paper's
+// order. The traffic-shaped workloads register in their own files.
+func init() {
+	wrap := func(f func(Size) prism.Workload) func(Size, Params) (prism.Workload, error) {
+		return func(s Size, _ Params) (prism.Workload, error) { return f(s), nil }
 	}
-	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	Register(Descriptor{Name: "barnes", Paper: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewBarnes(s) })})
+	Register(Descriptor{Name: "fft", Paper: true, LockFree: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewFFT(s) })})
+	Register(Descriptor{Name: "lu", Paper: true, LockFree: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewLU(s) })})
+	Register(Descriptor{Name: "mp3d", Paper: true, LockFree: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewMP3D(s) })})
+	Register(Descriptor{Name: "ocean", Paper: true, LockFree: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewOcean(s) })})
+	Register(Descriptor{Name: "radix", Paper: true, LockFree: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewRadix(s) })})
+	Register(Descriptor{Name: "water-nsq", Aliases: []string{"waternsq"}, Paper: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewWaterNsq(s) })})
+	Register(Descriptor{Name: "water-spa", Aliases: []string{"waterspa"}, Paper: true, Sizes: PaperSizes,
+		New: wrap(func(s Size) prism.Workload { return NewWaterSpa(s) })})
 }
 
-// Names lists the workloads in the paper's table order.
+// ByName builds the named workload at the given size with default
+// parameters. Names are case-insensitive; the paper's kernels answer
+// to their Table 2 spellings (barnes, fft, lu, mp3d, ocean, radix,
+// water-nsq, water-spa).
+func ByName(name string, size Size) (prism.Workload, error) {
+	return NewWorkload(name, size, nil)
+}
+
+// Names lists the paper's workloads in Table 2 order — the default
+// sweep set. AllNames includes the traffic-shaped extras.
 func Names() []string {
-	return []string{"barnes", "fft", "lu", "mp3d", "ocean", "radix", "water-nsq", "water-spa"}
+	var out []string
+	for _, d := range regOrder {
+		if d.Paper {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// AllNames lists every registered workload in registration order.
+func AllNames() []string {
+	var out []string
+	for _, d := range regOrder {
+		out = append(out, d.Name)
+	}
+	return out
 }
 
 // LockFree reports whether the named workload synchronizes only
@@ -108,14 +186,11 @@ func Names() []string {
 // test-and-set locks are inherently order-dependent and unsupported
 // there. The harness uses this to pick the engine per cell.
 func LockFree(name string) bool {
-	switch name {
-	case "fft", "FFT", "lu", "LU", "mp3d", "MP3D", "ocean", "Ocean", "radix", "Radix":
-		return true
-	}
-	return false
+	d, ok := Lookup(name)
+	return ok && d.LockFree
 }
 
-// All builds every workload at the given size.
+// All builds every paper workload at the given size.
 func All(size Size) []prism.Workload {
 	var out []prism.Workload
 	for _, n := range Names() {
